@@ -1,0 +1,216 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, regenerating the measurement and reporting the
+// headline quantity as a custom metric. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the quick scale so a full -bench=. pass stays in minutes;
+// cmd/experiments runs the same code at the calibrated default scale and
+// EXPERIMENTS.md records those numbers.
+package ptemagnet_test
+
+import (
+	"testing"
+
+	"ptemagnet"
+)
+
+const benchSeed = 11
+
+func benchScale() ptemagnet.Scale { return ptemagnet.QuickScale() }
+
+// BenchmarkTable1_FragmentationEffects regenerates Table 1 (§3.3): pagerank
+// colocated with stress-ng versus standalone on the default kernel.
+func BenchmarkTable1_FragmentationEffects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunTable1(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown := float64(r.Colocated.Task.SteadyCycles)/float64(r.Isolation.Task.SteadyCycles) - 1
+		b.ReportMetric(slowdown*100, "slowdown_%")
+		b.ReportMetric(r.Colocated.Task.Frag.Mean, "frag_colocated")
+		b.ReportMetric(r.Isolation.Task.Frag.Mean, "frag_isolation")
+	}
+}
+
+// BenchmarkFig5_HostPTFragmentation regenerates Figure 5: host-PT
+// fragmentation per benchmark with the objdet co-runner, default versus
+// PTEMagnet. (Shares runs with Figure 6; the reported metrics are the
+// fragmentation means.)
+func BenchmarkFig5_HostPTFragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		def, mag, err := ptemagnet.RunScenarioPair(ptemagnet.Scenario{
+			Benchmark: "pagerank", Corunners: []string{"objdet"},
+			Scale: benchScale(), Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(def.Task.Frag.Mean, "frag_default")
+		b.ReportMetric(mag.Task.Frag.Mean, "frag_ptemagnet")
+	}
+}
+
+// BenchmarkFig6_SpeedupWithObjdet regenerates Figure 6: PTEMagnet's
+// performance improvement with the objdet co-runner, geomean across the
+// full benchmark suite.
+func BenchmarkFig6_SpeedupWithObjdet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunObjdetSuite(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeomeanSpeedup, "geomean_speedup_%")
+		max := 0.0
+		for _, e := range r.Entries {
+			if e.SpeedupPct > max {
+				max = e.SpeedupPct
+			}
+		}
+		b.ReportMetric(max, "max_speedup_%")
+	}
+}
+
+// BenchmarkFig7_SpeedupWithCombination regenerates Figure 7: PTEMagnet's
+// improvement under the full Table 3 co-runner combination.
+func BenchmarkFig7_SpeedupWithCombination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunCombinationSuite(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeomeanSpeedup, "geomean_speedup_%")
+	}
+}
+
+// BenchmarkTable4_HardwareMetrics regenerates Table 4 (§6.3): pagerank +
+// objdet, PTEMagnet versus default, hardware-counter changes.
+func BenchmarkTable4_HardwareMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunTable4(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup := float64(r.Default.Task.SteadyCycles)/float64(r.Magnet.Task.SteadyCycles) - 1
+		b.ReportMetric(speedup*100, "speedup_%")
+		walkReduction := 1 - float64(r.Magnet.Walk.WalkCycles)/float64(r.Default.Walk.WalkCycles)
+		b.ReportMetric(walkReduction*100, "walk_cycle_reduction_%")
+	}
+}
+
+// BenchmarkSec62_ReservationWaste regenerates the §6.2 study for pagerank
+// (real workload) and the sparse adversary.
+func BenchmarkSec62_ReservationWaste(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		real, err := ptemagnet.RunScenario(ptemagnet.Scenario{
+			Benchmark: "pagerank", Corunners: []string{"objdet"},
+			Policy: ptemagnet.PolicyPTEMagnet,
+			Scale:  benchScale(), Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv, err := ptemagnet.RunScenario(ptemagnet.Scenario{
+			Benchmark: "sparse", Policy: ptemagnet.PolicyPTEMagnet,
+			Scale: benchScale(), Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*float64(real.UnusedMax)/float64(real.FootprintPages), "pagerank_waste_%")
+		b.ReportMetric(100*float64(adv.UnusedMax)/float64(adv.FootprintPages), "adversary_waste_%")
+	}
+}
+
+// BenchmarkSec64_AllocationLatency regenerates the §6.4 microbenchmark:
+// touch every page of a huge array under both policies.
+func BenchmarkSec64_AllocationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunSec64(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ImprovementPct, "improvement_%")
+		b.ReportMetric(float64(r.BuddyCallsDefault)/float64(r.BuddyCallsMagnet), "buddy_call_ratio")
+	}
+}
+
+// BenchmarkAblation_Granularity sweeps the reservation group size, the §4.1
+// design choice (8 pages = one cache block of PTEs).
+func BenchmarkAblation_Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunGranularity(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range r.Entries {
+			if e.GroupPages == 8 {
+				b.ReportMetric(e.Frag, "frag_at_8_pages")
+				b.ReportMetric(e.SpeedupPct, "speedup_at_8_pages_%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_PaRTLocking compares fine-grained per-node locking
+// against a coarse table lock under concurrent faults (§4.2).
+func BenchmarkAblation_PaRTLocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ptemagnet.RunLockingAblation(8, 5000)
+		b.ReportMetric(r.FineNsPerOp, "fine_ns/fault")
+		b.ReportMetric(r.CoarseNsPerOp, "coarse_ns/fault")
+	}
+}
+
+// BenchmarkAblation_ReclaimWatermark sweeps the §4.3 reclaim threshold.
+func BenchmarkAblation_ReclaimWatermark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunReclaimSweep(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Entries[0].ReclaimedReservations), "reclaimed_at_0.3")
+		b.ReportMetric(float64(r.Entries[3].ReclaimedReservations), "reclaimed_at_0.9")
+	}
+}
+
+// BenchmarkBaseline_CAPaging contrasts the best-effort CA-paging baseline
+// (related work §7) with PTEMagnet as colocation pressure rises.
+func BenchmarkBaseline_CAPaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunCAPagingComparison(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Entries[len(r.Entries)-1]
+		b.ReportMetric(last.FragCA, "combo_frag_capaging")
+		b.ReportMetric(last.FragMagnet, "combo_frag_ptemagnet")
+	}
+}
+
+// BenchmarkBaseline_THP contrasts transparent huge pages (§2.3) with
+// PTEMagnet across colocation levels.
+func BenchmarkBaseline_THP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunTHPComparison(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Entries[0].THPCoverage*100, "solo_thp_coverage_%")
+		b.ReportMetric(r.Entries[len(r.Entries)-1].THPCoverage*100, "combo_thp_coverage_%")
+	}
+}
+
+// BenchmarkExtension_FiveLevelPaging measures PTEMagnet under LA57
+// five-level paging (the §2.5 migration: nested walks grow to 35 accesses).
+func BenchmarkExtension_FiveLevelPaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ptemagnet.RunFiveLevelComparison(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Entries[0].SpeedupMagnet, "speedup_4level_%")
+		b.ReportMetric(r.Entries[1].SpeedupMagnet, "speedup_5level_%")
+	}
+}

@@ -1,0 +1,158 @@
+// Command fraginspect runs a colocation scenario and dumps the low-level
+// memory-layout state the headline metrics summarize: the host-PT
+// fragmentation histogram per process, guest buddy-allocator free-list
+// shape, and a physical-contiguity map of the primary benchmark's virtual
+// space. It exists for studying *why* a configuration fragments.
+//
+// Usage:
+//
+//	fraginspect -bench pagerank -corunners stress-ng -policy default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/metrics"
+	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/sim"
+	"ptemagnet/internal/vm"
+)
+
+func main() {
+	bench := flag.String("bench", "pagerank", "primary benchmark")
+	corunners := flag.String("corunners", "stress-ng", "comma-separated co-runner list")
+	policy := flag.String("policy", "default", "allocator policy: default or ptemagnet")
+	seed := flag.Int64("seed", 11, "simulation seed")
+	quick := flag.Bool("quick", true, "use the reduced quick scale")
+	flag.Parse()
+
+	sc := sim.DefaultScale()
+	if *quick {
+		sc = sim.QuickScale()
+	}
+	pol := guestos.PolicyDefault
+	if *policy == "ptemagnet" {
+		pol = guestos.PolicyPTEMagnet
+	}
+
+	cfg := vm.DefaultConfig()
+	cfg.HostMemBytes = sc.HostMemBytes
+	cfg.GuestMemBytes = sc.GuestMemBytes
+	cfg.Policy = pol
+	cfg.Seed = *seed
+	cfg.Quantum = 2
+	m, err := vm.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sim.NewBenchmark(*bench, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := m.AddTask(prog, vm.RolePrimary); err != nil {
+		fatal(err)
+	}
+	if *corunners != "" {
+		for i, name := range strings.Split(*corunners, ",") {
+			co, err := sim.NewCorunner(name, sc, *seed+int64(i)+100)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := m.AddTask(co, vm.RoleCorunner); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := m.Run(vm.RunOptions{}); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy: %v\n\n", pol)
+	for _, task := range m.Tasks() {
+		dumpProcess(m, task)
+	}
+	dumpBuddy(m)
+	dumpWalkHistogram(m)
+}
+
+// dumpWalkHistogram prints the per-walk latency distribution — the per-walk
+// view of the fragmentation penalty (compare policies to watch the mass
+// shift between buckets).
+func dumpWalkHistogram(m *vm.Machine) {
+	s := m.Walker().Snapshot()
+	fmt.Printf("\nnested-walk latency distribution (%d walks, p50 ≤ %d cycles, p99 ≤ %d cycles)\n",
+		s.Walks, s.WalkLatencyPercentile(0.5), s.WalkLatencyPercentile(0.99))
+	var max uint64
+	for _, c := range s.WalkHist {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range s.WalkHist {
+		if c == 0 {
+			continue
+		}
+		bar := int(c * 50 / max)
+		fmt.Printf("  <%6d cyc  %8d  %s\n", 1<<(i+1), c, strings.Repeat("#", bar))
+	}
+}
+
+func dumpProcess(m *vm.Machine, task *vm.Task) {
+	proc := task.Process()
+	rep := metrics.HostPTFragmentation(proc.PageTable(), m.HostVM().PageTable())
+	fmt.Printf("process %-12s  rss %6d pages  host-PT frag %.2f over %d groups\n",
+		task.Name(), proc.RSS(), rep.Mean, rep.Groups)
+	fmt.Printf("  hPTE-blocks-per-group histogram: ")
+	for n, c := range rep.Histogram {
+		fmt.Printf("%d:%d ", n+1, c)
+	}
+	fmt.Println()
+	// Physical contiguity map of the first VMA span: one char per page
+	// run (C = continues previous page physically, gap digit = log2 of
+	// the jump).
+	fmt.Printf("  contiguity (first 512 mapped pages): ")
+	var prev arch.PhysAddr
+	count := 0
+	proc.PageTable().ForEachMapped(func(va arch.VirtAddr, pa arch.PhysAddr, _ pagetable.Flags) bool {
+		if count >= 512 {
+			return false
+		}
+		if count > 0 {
+			if pa == prev+arch.PageSize {
+				fmt.Print(".")
+			} else {
+				fmt.Print("|")
+			}
+		}
+		prev = pa
+		count++
+		return true
+	})
+	fmt.Println("\n  ('.' physically adjacent to previous page, '|' discontinuity)")
+}
+
+func dumpBuddy(m *vm.Machine) {
+	b := m.Guest().Memory().Buddy()
+	fmt.Printf("\nguest buddy allocator: %d/%d frames free, largest free order %d\n",
+		b.FreeFrames(), b.NumFrames(), b.LargestFreeOrder())
+	counts := b.FreeBlocksByOrder()
+	fmt.Printf("  free blocks by order: ")
+	for o, c := range counts {
+		if c > 0 {
+			fmt.Printf("2^%d:%d ", o, c)
+		}
+	}
+	fmt.Println()
+	s := b.Snapshot()
+	fmt.Printf("  splits %d  merges %d  failures %d\n", s.Splits, s.Merges, s.Failures)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fraginspect: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Colocation walks through the paper's §3.3 motivating experiment with the
+// low-level machine API: pagerank shares a VM with a stress-ng style
+// memory hog during its allocation phase; the hog is stopped once pagerank
+// finishes initializing, so the only thing it leaves behind is a
+// fragmented guest-physical layout — and pagerank's steady phase still
+// slows down, purely from longer nested page walks through the scattered
+// host page table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptemagnet"
+)
+
+// run executes pagerank (optionally colocated) and reports its steady-state
+// cycles plus the walker's host-dimension behaviour.
+func run(colocated bool) (ptemagnet.TaskReport, uint64, uint64) {
+	cfg := ptemagnet.DefaultMachineConfig()
+	cfg.HostMemBytes = 128 << 20
+	cfg.GuestMemBytes = 64 << 20
+	cfg.Quantum = 2 // aggressive fault interleaving across vCPUs
+	cfg.Seed = 7
+	// Shrink the caches along with the 12MB dataset so the footprint-to-
+	// LLC ratio stays in the regime the paper studies (16GB vs 25MB).
+	cfg.Cache = ptemagnet.DefaultCacheConfig(cfg.NumCPUs)
+	cfg.Cache.L2.SizeBytes = 64 << 10
+	cfg.Cache.LLC.SizeBytes = 128 << 10
+	m, err := ptemagnet.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pagerank := ptemagnet.NewPagerank(ptemagnet.GraphConfig{
+		DatasetBytes: 12 << 20,
+		Accesses:     150_000,
+		Seed:         7,
+	})
+	if _, err := m.AddTask(pagerank, ptemagnet.RolePrimary); err != nil {
+		log.Fatal(err)
+	}
+	if colocated {
+		hog := ptemagnet.NewStressNG(ptemagnet.CorunnerConfig{FootprintBytes: 8 << 20, Seed: 8})
+		if _, err := m.AddTask(hog, ptemagnet.RoleCorunner); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// §3.3 methodology: the co-runner stops the moment pagerank finishes
+	// allocating, so the steady phase has no cache contention — only the
+	// fragmentation the hog caused survives.
+	if err := m.Run(ptemagnet.RunOptions{StopCorunnersAtPrimaryInit: true}); err != nil {
+		log.Fatal(err)
+	}
+	walk := m.SteadyWalkStats()
+	return m.Report()[0], walk.WalkCycles, walk.MemServed(ptemagnet.DimHost)
+}
+
+func main() {
+	soloRep, soloWalk, soloMem := run(false)
+	colRep, colWalk, colMem := run(true)
+
+	fmt.Println("pagerank steady phase, default kernel (stress-ng stopped after pagerank's init)")
+	fmt.Printf("%-34s  %12s  %12s  %s\n", "", "standalone", "colocated", "change")
+	row := func(name string, a, b uint64) {
+		fmt.Printf("%-34s  %12d  %12d  %+.0f%%\n", name, a, b,
+			(float64(b)/float64(a)-1)*100)
+	}
+	row("execution cycles", soloRep.SteadyCycles, colRep.SteadyCycles)
+	row("page-walk cycles", soloWalk, colWalk)
+	row("host-PT accesses from memory", soloMem, colMem)
+	fmt.Printf("%-34s  %12.2f  %12.2f\n", "host-PT fragmentation (§3.2)",
+		soloRep.Frag.Mean, colRep.Frag.Mean)
+	fmt.Printf("%-34s  %11.0f%%  %11.0f%%\n", "groups scattered to 8 blocks",
+		soloRep.Frag.FullyScattered*100, colRep.Frag.FullyScattered*100)
+	fmt.Println("\nNothing about pagerank's own code or data changed — only where the")
+	fmt.Println("guest buddy allocator placed its pages. That is the bottleneck")
+	fmt.Println("PTEMagnet removes (run examples/quickstart to see the fix).")
+}

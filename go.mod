@@ -1,0 +1,3 @@
+module ptemagnet
+
+go 1.22

@@ -1,0 +1,152 @@
+package guestos
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/physmem"
+)
+
+// TestRandomOpsInvariants drives the kernel with random operation sequences
+// (spawn, mmap, fault, free, fork, COW write, swap-out, exit) under every
+// policy and checks global invariants after each step:
+//
+//   - frame conservation: used frames == PT nodes + user frames + reserved
+//     frames (nothing leaks, nothing is double-freed);
+//   - no two processes map the same frame unless it is COW-shared;
+//   - PaRT gauges match physmem's reserved-frame count.
+func TestRandomOpsInvariants(t *testing.T) {
+	for _, policy := range []AllocPolicy{PolicyDefault, PolicyPTEMagnet, PolicyCAPaging, PolicyTHP} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			k := NewKernel(Config{MemBytes: 32 << 20, Policy: policy, ReclaimWatermark: 0.8, Seed: 3})
+
+			type procState struct {
+				p    *Process
+				vmas []arch.VirtAddr
+			}
+			var procs []*procState
+			spawn := func() {
+				p, err := k.Spawn("p", 16<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				procs = append(procs, &procState{p: p})
+			}
+			spawn()
+			spawn()
+
+			for step := 0; step < 4000; step++ {
+				ps := procs[rng.Intn(len(procs))]
+				switch op := rng.Intn(100); {
+				case op < 5: // mmap
+					if len(ps.vmas) < 6 {
+						va, err := ps.p.Mmap(uint64(1+rng.Intn(64)) * arch.PageSize)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ps.vmas = append(ps.vmas, va)
+					}
+				case op < 70: // fault
+					if len(ps.vmas) > 0 {
+						va := ps.vmas[rng.Intn(len(ps.vmas))] + arch.VirtAddr(rng.Intn(64))*arch.PageSize
+						write := rng.Intn(2) == 0
+						if _, err := ps.p.HandlePageFault(va, write); err != nil && err != ErrOutOfMemory {
+							if _, vmaErr := ps.p.findVMA(va); vmaErr {
+								t.Fatalf("fault: %v", err)
+							}
+						}
+					}
+				case op < 85: // free a random small range
+					if len(ps.vmas) > 0 {
+						va := ps.vmas[rng.Intn(len(ps.vmas))] + arch.VirtAddr(rng.Intn(64))*arch.PageSize
+						if err := ps.p.Free(va, uint64(1+rng.Intn(8))*arch.PageSize); err != nil {
+							t.Fatalf("free: %v", err)
+						}
+					}
+				case op < 90: // swap out
+					if len(ps.vmas) > 0 {
+						va := ps.vmas[rng.Intn(len(ps.vmas))] + arch.VirtAddr(rng.Intn(64))*arch.PageSize
+						ps.p.SwapOut(va)
+					}
+				case op < 94: // fork
+					if len(procs) < 6 {
+						child, err := ps.p.Fork("c")
+						if err != nil && err != ErrOutOfMemory {
+							t.Fatalf("fork: %v", err)
+						}
+						if err == nil {
+							procs = append(procs, &procState{p: child, vmas: append([]arch.VirtAddr(nil), ps.vmas...)})
+						}
+					}
+				case op < 96: // exit (keep at least one process)
+					if len(procs) > 1 {
+						idx := rng.Intn(len(procs))
+						procs[idx].p.Exit()
+						procs = append(procs[:idx], procs[idx+1:]...)
+					}
+				default: // spawn
+					if len(procs) < 6 {
+						spawn()
+					}
+				}
+				if step%500 == 0 {
+					checkInvariants(t, k, step)
+				}
+			}
+			checkInvariants(t, k, 4000)
+
+			// Everything must be reclaimable: exit all, expect zero usage.
+			for _, ps := range procs {
+				ps.p.Exit()
+			}
+			if used := k.Memory().UsedFrames(); used != 0 {
+				t.Errorf("%d frames leak after all exits", used)
+			}
+		})
+	}
+}
+
+func checkInvariants(t *testing.T, k *Kernel, step int) {
+	t.Helper()
+	mem := k.Memory()
+	user := mem.CountKind(physmem.KindUser)
+	pt := mem.CountKind(physmem.KindPageTable)
+	reserved := mem.CountKind(physmem.KindReserved)
+	if got := user + pt + reserved; got != mem.UsedFrames() {
+		t.Fatalf("step %d: kind counts %d (user %d + pt %d + reserved %d) != used %d",
+			step, got, user, pt, reserved, mem.UsedFrames())
+	}
+	// PaRT unused-page gauges must equal the reserved-frame count.
+	if gauge := k.UnusedReservedPages(); uint64(gauge) != reserved {
+		t.Fatalf("step %d: PaRT gauge %d != reserved frames %d", step, gauge, reserved)
+	}
+	// No frame is mapped by two processes unless COW-shared.
+	owners := map[arch.PhysAddr][]*Process{}
+	for _, p := range k.Processes() {
+		p.PageTable().ForEachMapped(func(va arch.VirtAddr, pa arch.PhysAddr, flags pagetable.Flags) bool {
+			owners[pa.PageBase()] = append(owners[pa.PageBase()], p)
+			return true
+		})
+	}
+	for pa, ps := range owners {
+		if len(ps) > 1 && k.frameRefs(pa) < len(ps) {
+			t.Fatalf("step %d: frame %#x mapped by %d processes with refcount %d",
+				step, uint64(pa), len(ps), k.frameRefs(pa))
+		}
+	}
+	// RSS must match each process's actual mapped page count.
+	for _, p := range k.Processes() {
+		var mapped uint64
+		p.PageTable().ForEachMapped(func(arch.VirtAddr, arch.PhysAddr, pagetable.Flags) bool {
+			mapped++
+			return true
+		})
+		if mapped != p.RSS() {
+			t.Fatalf("step %d: pid %d RSS %d != mapped %d", step, p.PID(), p.RSS(), mapped)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package hostos simulates the host (hypervisor) kernel's memory
+// management, the KVM arrangement the paper describes in §3.1: a virtual
+// machine is just a process, and the VM's guest-physical address space is
+// one contiguous virtual region of that process. Host-physical frames are
+// allocated lazily, page by page, on the first access to each guest-physical
+// page — which is why fragmentation in guest-physical memory carries over
+// into the host page table: the host PT is indexed by guest-physical
+// addresses, so scattered guest-physical pages occupy scattered host PTEs
+// regardless of where the host places the backing frames.
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/physmem"
+)
+
+// ErrOutOfMemory reports host-physical exhaustion.
+var ErrOutOfMemory = errors.New("hostos: out of host-physical memory")
+
+// Kernel is the host kernel, owner of host-physical memory.
+type Kernel struct {
+	mem *physmem.Memory
+	vms []*VM
+}
+
+// NewKernel boots a host kernel managing memBytes of host-physical memory.
+func NewKernel(memBytes uint64) *Kernel {
+	return &Kernel{mem: physmem.New(memBytes)}
+}
+
+// Memory exposes host-physical memory for inspection.
+func (k *Kernel) Memory() *physmem.Memory { return k.mem }
+
+// VM is one virtual machine: a host process whose virtual address space is
+// the guest-physical address space.
+type VM struct {
+	kernel *Kernel
+	id     int
+	// pt is the host page table: guest-physical → host-physical.
+	pt            *pagetable.Table
+	guestMemBytes uint64
+	faults        uint64
+}
+
+// CreateVM registers a VM with the given guest-physical memory size. The
+// guest-physical space [0, guestMemBytes) is the VM process's eagerly
+// created virtual region; host frames arrive on demand.
+func (k *Kernel) CreateVM(guestMemBytes uint64) (*VM, error) {
+	return k.CreateVMWithLevels(guestMemBytes, 4)
+}
+
+// CreateVMWithLevels is CreateVM with a selectable host page-table depth
+// (4-level EPT, or the 5-level EPT that accompanies LA57).
+func (k *Kernel) CreateVMWithLevels(guestMemBytes uint64, levels int) (*VM, error) {
+	if guestMemBytes == 0 || guestMemBytes%arch.PageSize != 0 {
+		return nil, fmt.Errorf("hostos: bad guest memory size %d", guestMemBytes)
+	}
+	id := len(k.vms) + 1
+	pt, err := pagetable.NewWithLevels(k.mem, id, levels)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{kernel: k, id: id, pt: pt, guestMemBytes: guestMemBytes}
+	k.vms = append(k.vms, vm)
+	return vm, nil
+}
+
+// ID returns the VM's host process id.
+func (vm *VM) ID() int { return vm.id }
+
+// PageTable exposes the host page table of this VM.
+func (vm *VM) PageTable() *pagetable.Table { return vm.pt }
+
+// GuestMemBytes returns the guest-physical memory size.
+func (vm *VM) GuestMemBytes() uint64 { return vm.guestMemBytes }
+
+// Faults returns the number of host page faults (EPT violations) taken.
+func (vm *VM) Faults() uint64 { return vm.faults }
+
+// Translate maps a guest-physical address to host-physical, if mapped.
+func (vm *VM) Translate(gpa arch.PhysAddr) (arch.PhysAddr, bool) {
+	hpa, _, ok := vm.pt.Translate(arch.VirtAddr(gpa))
+	return hpa, ok
+}
+
+// HandleFault resolves a host page fault for gpa: allocates one
+// host-physical frame through the default buddy path and maps it. It is the
+// hypervisor-side analogue of the guest's default allocator — the host runs
+// stock allocation; PTEMagnet changes only the guest (§4).
+func (vm *VM) HandleFault(gpa arch.PhysAddr) error {
+	if uint64(gpa) >= vm.guestMemBytes {
+		return fmt.Errorf("hostos: guest-physical address %#x beyond VM memory %d", uint64(gpa), vm.guestMemBytes)
+	}
+	page := arch.VirtAddr(gpa).PageBase()
+	if _, _, ok := vm.pt.Translate(page); ok {
+		return nil
+	}
+	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, vm.id)
+	if !ok {
+		return ErrOutOfMemory
+	}
+	vm.faults++
+	return vm.pt.Map(page, hpa, pagetable.FlagWritable)
+}
+
+// MappedGuestPages returns the number of guest-physical pages with host
+// backing.
+func (vm *VM) MappedGuestPages() uint64 { return vm.pt.MappedPages() }

@@ -1,0 +1,136 @@
+package hostos
+
+import (
+	"errors"
+	"testing"
+
+	"ptemagnet/internal/arch"
+)
+
+func TestCreateVMValidation(t *testing.T) {
+	k := NewKernel(16 << 20)
+	if _, err := k.CreateVM(0); err == nil {
+		t.Error("CreateVM(0) succeeded")
+	}
+	if _, err := k.CreateVM(100); err == nil {
+		t.Error("CreateVM(non-page-multiple) succeeded")
+	}
+	if _, err := k.CreateVM(8 << 20); err != nil {
+		t.Errorf("CreateVM failed: %v", err)
+	}
+}
+
+func TestFaultMapsGuestPage(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	gpa := arch.PhysAddr(0x123000)
+	if _, ok := vm.Translate(gpa); ok {
+		t.Fatal("unmapped gpa translates")
+	}
+	if err := vm.HandleFault(gpa + 0x10); err != nil {
+		t.Fatal(err)
+	}
+	hpa, ok := vm.Translate(gpa + 0x10)
+	if !ok {
+		t.Fatal("gpa not mapped after fault")
+	}
+	if off := uint64(hpa) & arch.PageMask; off != 0x10 {
+		t.Errorf("offset not preserved: %#x", uint64(hpa))
+	}
+	if vm.Faults() != 1 || vm.MappedGuestPages() != 1 {
+		t.Errorf("faults=%d mapped=%d", vm.Faults(), vm.MappedGuestPages())
+	}
+	// Repeat fault is a no-op.
+	vm.HandleFault(gpa)
+	if vm.Faults() != 1 {
+		t.Errorf("spurious fault counted")
+	}
+}
+
+func TestFaultBeyondVMMemory(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(1 << 20)
+	if err := vm.HandleFault(arch.PhysAddr(2 << 20)); err == nil {
+		t.Error("fault beyond guest memory succeeded")
+	}
+}
+
+func TestHostOOM(t *testing.T) {
+	k := NewKernel(16 * arch.PageSize)
+	vm, _ := k.CreateVM(1 << 20)
+	var err error
+	for i := 0; i < 64; i++ {
+		if err = vm.HandleFault(arch.PhysAddr(i * arch.PageSize)); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestScatteredGPAsScatterHostPTEs(t *testing.T) {
+	// The §3.1 carry-over: contiguous guest-physical pages get adjacent
+	// host leaf PTEs; scattered ones do not.
+	k := NewKernel(64 << 20)
+	vm, _ := k.CreateVM(32 << 20)
+	// Contiguous gPAs → one cache block of host leaf PTEs.
+	blocks := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		gpa := arch.PhysAddr(0x100000 + i*arch.PageSize)
+		vm.HandleFault(gpa)
+		ea, ok := vm.PageTable().LeafEntryAddr(arch.VirtAddr(gpa))
+		if !ok {
+			t.Fatal("leaf entry missing")
+		}
+		blocks[ea.CacheBlock()] = true
+	}
+	if len(blocks) != 1 {
+		t.Errorf("contiguous gPAs occupy %d hPTE blocks, want 1", len(blocks))
+	}
+	// Scattered gPAs (64KB apart) → 8 distinct blocks.
+	blocks = map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		gpa := arch.PhysAddr(0x1000000 + i*0x10000)
+		vm.HandleFault(gpa)
+		ea, _ := vm.PageTable().LeafEntryAddr(arch.VirtAddr(gpa))
+		blocks[ea.CacheBlock()] = true
+	}
+	if len(blocks) != 8 {
+		t.Errorf("scattered gPAs occupy %d hPTE blocks, want 8", len(blocks))
+	}
+}
+
+func TestCreateVMWithLevels(t *testing.T) {
+	k := NewKernel(32 << 20)
+	vm5, err := k.CreateVMWithLevels(8<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm5.PageTable().Levels() != 5 {
+		t.Errorf("Levels = %d", vm5.PageTable().Levels())
+	}
+	if _, err := k.CreateVMWithLevels(8<<20, 3); err == nil {
+		t.Error("depth 3 accepted")
+	}
+	if err := vm5.HandleFault(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vm5.Translate(0x1000); !ok {
+		t.Error("5-level host translate failed")
+	}
+}
+
+func TestVMAccessors(t *testing.T) {
+	k := NewKernel(32 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	if vm.ID() != 1 {
+		t.Errorf("ID = %d", vm.ID())
+	}
+	if vm.GuestMemBytes() != 8<<20 {
+		t.Errorf("GuestMemBytes = %d", vm.GuestMemBytes())
+	}
+	if k.Memory() == nil {
+		t.Error("Memory nil")
+	}
+}

@@ -1,0 +1,181 @@
+// Package metrics computes the paper's measurement quantities that are not
+// plain hardware counters — above all the host page-table fragmentation
+// metric of §3.2: for every cache block of guest leaf PTEs, how many
+// distinct cache blocks hold the corresponding host leaf PTEs. A value of 1
+// is perfect packing (PTEMagnet's goal); 8 means every page of the group
+// needs its own host PTE block (full fragmentation).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/pagetable"
+)
+
+// FragReport summarizes host-PT fragmentation for one process.
+type FragReport struct {
+	// Mean is the §3.2 metric: average number of distinct hPTE cache
+	// blocks per populated gPTE cache block.
+	Mean float64
+	// Groups is the number of populated gPTE cache blocks considered.
+	Groups int
+	// Histogram[n-1] counts gPTE blocks whose hPTEs span exactly n blocks
+	// (n in 1..8).
+	Histogram [arch.PTEsPerBlock]int
+	// FullyScattered is the fraction of gPTE blocks spanning the maximum
+	// 8 hPTE blocks — the "63% of contiguous memory regions" figure from
+	// the paper's §3.3.
+	FullyScattered float64
+}
+
+// HostPTFragmentation computes the fragmentation metric for the process
+// whose guest page table is gpt, running in the VM whose host page table is
+// hpt. Guest pages without host backing (never touched through the nested
+// walker) are skipped, as are gPTE blocks with fewer than two mapped pages
+// (a single PTE cannot fragment).
+func HostPTFragmentation(gpt, hpt *pagetable.Table) FragReport {
+	type groupInfo struct {
+		hostBlocks map[uint64]bool
+		pages      int
+	}
+	groups := map[uint64]*groupInfo{}
+	gpt.ForEachMapped(func(va arch.VirtAddr, gpa arch.PhysAddr, _ pagetable.Flags) bool {
+		gEntry, ok := gpt.LeafEntryAddr(va)
+		if !ok {
+			return true
+		}
+		hEntry, ok := hpt.LeafEntryAddr(arch.VirtAddr(gpa))
+		if !ok {
+			return true // page never touched under virtualization
+		}
+		gi := groups[gEntry.CacheBlock()]
+		if gi == nil {
+			gi = &groupInfo{hostBlocks: map[uint64]bool{}}
+			groups[gEntry.CacheBlock()] = gi
+		}
+		gi.hostBlocks[hEntry.CacheBlock()] = true
+		gi.pages++
+		return true
+	})
+	var rep FragReport
+	var sum float64
+	for _, gi := range groups {
+		if gi.pages < 2 {
+			continue
+		}
+		n := len(gi.hostBlocks)
+		sum += float64(n)
+		rep.Groups++
+		if n >= 1 && n <= arch.PTEsPerBlock {
+			rep.Histogram[n-1]++
+		}
+	}
+	if rep.Groups > 0 {
+		rep.Mean = sum / float64(rep.Groups)
+		rep.FullyScattered = float64(rep.Histogram[arch.PTEsPerBlock-1]) / float64(rep.Groups)
+	}
+	return rep
+}
+
+// GaugeSample is one periodic observation of a gauge (§6.2 sampling).
+type GaugeSample struct {
+	// Accesses is the simulation progress stamp (total accesses executed).
+	Accesses uint64
+	// Value is the gauge reading.
+	Value int64
+}
+
+// Series is a recorded gauge time series.
+type Series struct {
+	Samples []GaugeSample
+}
+
+// Record appends a sample.
+func (s *Series) Record(accesses uint64, value int64) {
+	s.Samples = append(s.Samples, GaugeSample{Accesses: accesses, Value: value})
+}
+
+// Max returns the largest sample value, or 0 for an empty series.
+func (s *Series) Max() int64 {
+	var m int64
+	for _, x := range s.Samples {
+		if x.Value > m {
+			m = x.Value
+		}
+	}
+	return m
+}
+
+// Mean returns the average sample value, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.Samples {
+		sum += float64(x.Value)
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Geomean returns the geometric mean of strictly positive values. Values
+// ≤ 0 are clamped to the smallest positive ratio the paper's charts would
+// show (1e-9) so a single zero does not zero the whole mean.
+func Geomean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range values {
+		if v <= 0 {
+			v = 1e-9
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Median returns the median (average of middle two for even counts).
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// PercentChange returns (now-base)/base as a percentage; 0 when base is 0.
+func PercentChange(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (now - base) / base * 100
+}
+
+// Speedup returns baseCycles/newCycles - 1 as a percentage — the paper's
+// "performance improvement" (positive = PTEMagnet faster).
+func Speedup(baseCycles, newCycles uint64) float64 {
+	if newCycles == 0 {
+		return 0
+	}
+	return (float64(baseCycles)/float64(newCycles) - 1) * 100
+}

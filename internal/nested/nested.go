@@ -1,0 +1,381 @@
+// Package nested implements the two-dimensional (nested) page walk of a
+// virtualized x86 CPU (paper §2.5).
+//
+// On a TLB miss, the walker traverses the guest page table; every guest PT
+// node it reads lives at a guest-physical address that must itself be
+// translated through the host page table, and the final guest-physical data
+// address needs one more host walk — up to 4×5 + 4 = 24 memory accesses.
+// Every one of those accesses goes through the simulated cache hierarchy,
+// and the walker attributes each to the guest-PT or host-PT dimension. The
+// per-dimension "served by main memory" counts and cycle totals are exactly
+// the quantities in the paper's Tables 1 and 4.
+//
+// Three translation caches accelerate the walk, mirroring real hardware:
+//
+//   - the main two-level TLB holds complete gVA→hPA translations (a hit
+//     skips everything);
+//   - a nested TLB holds gPA→hPA page translations, so host walks for the
+//     hot, few guest-PT-node pages are usually skipped, while host walks
+//     for cold data pages are not — reproducing the paper's observation
+//     that guest PT accesses are cache-friendly while host PT accesses go
+//     to memory;
+//   - per-dimension page-walk caches (PWCs) map address prefixes to leaf
+//     PT nodes, so warm walks touch mostly leaf PTEs, whose cache behaviour
+//     is what PTEMagnet manipulates.
+package nested
+
+import (
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/cache"
+	"ptemagnet/internal/hostos"
+	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/tlb"
+)
+
+// Config sizes the walker's translation structures.
+type Config struct {
+	// TLB sizes the main two-level gVA→hPA TLB.
+	TLB tlb.TwoLevelConfig
+	// NTLB sizes the nested gPA→hPA TLB.
+	NTLB tlb.Config
+	// GuestPWC and HostPWC size the page-walk caches (prefix → leaf PT
+	// node).
+	GuestPWC tlb.Config
+	HostPWC  tlb.Config
+	// TLBHitCycles is charged for a main-TLB hit (address translation
+	// fully pipelined ≈ 1 cycle).
+	TLBHitCycles uint64
+	// HostFaultCycles is charged per host page fault (VM exit + hypervisor
+	// allocation). Host faults are rare after warm-up.
+	HostFaultCycles uint64
+}
+
+// DefaultConfig returns Broadwell-like sizes.
+func DefaultConfig() Config {
+	return Config{
+		TLB:             tlb.DefaultConfig(),
+		NTLB:            tlb.Config{Entries: 128, Ways: 8},
+		GuestPWC:        tlb.Config{Entries: 32, Ways: 4},
+		HostPWC:         tlb.Config{Entries: 32, Ways: 4},
+		TLBHitCycles:    1,
+		HostFaultCycles: 2200,
+	}
+}
+
+// Dimension distinguishes the two page tables of a nested walk.
+type Dimension uint8
+
+const (
+	// DimGuest is the guest page table.
+	DimGuest Dimension = iota
+	// DimHost is the host page table.
+	DimHost
+	// NumDimensions is the number of walk dimensions.
+	NumDimensions
+)
+
+// Stats aggregates walker activity. All cycle figures are translation-only
+// (data-access cycles are charged by the caller).
+type Stats struct {
+	// Lookups and TLBHits describe main-TLB behaviour; every lookup that
+	// is not a hit triggered a nested walk.
+	Lookups uint64
+	TLBHits uint64
+	// Walks counts completed nested walks (a walk interrupted by a guest
+	// fault and retried counts once per attempt).
+	Walks uint64
+	// GuestFaults counts walks aborted for guest page-fault handling.
+	GuestFaults uint64
+	// HostFaults counts host faults taken inside walks.
+	HostFaults uint64
+	// Accesses counts PT-entry reads per dimension.
+	Accesses [NumDimensions]uint64
+	// Served counts PT-entry reads per dimension per serving cache level.
+	Served [NumDimensions][cache.NumLevels]uint64
+	// Cycles accumulates PT-entry access latency per dimension.
+	Cycles [NumDimensions]uint64
+	// WalkCycles accumulates total translation cycles of nested walks
+	// (both dimensions plus fault overhead).
+	WalkCycles uint64
+	// NTLBHits counts nested-TLB hits; PWCHits per-dimension PWC hits.
+	NTLBHits uint64
+	PWCHits  [NumDimensions]uint64
+	// WalkHist buckets completed walks by latency: bucket i counts walks
+	// whose translation cost was in [2^i, 2^(i+1)) cycles. The shift from
+	// low to high buckets under fragmentation is the per-walk view of the
+	// aggregate cycle blow-up.
+	WalkHist [16]uint64
+}
+
+// histBucket maps a walk latency to its WalkHist bucket.
+func histBucket(cycles uint64) int {
+	b := 0
+	for cycles > 1 && b < len(Stats{}.WalkHist)-1 {
+		cycles >>= 1
+		b++
+	}
+	return b
+}
+
+// WalkLatencyPercentile returns the smallest bucket upper bound (in cycles)
+// such that at least frac of recorded walks fall at or below it. Returns 0
+// when no walks were recorded.
+func (s *Stats) WalkLatencyPercentile(frac float64) uint64 {
+	var total uint64
+	for _, c := range s.WalkHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(frac * float64(total))
+	if want == 0 {
+		want = 1
+	}
+	var seen uint64
+	for i, c := range s.WalkHist {
+		seen += c
+		if seen >= want {
+			return uint64(1) << (i + 1)
+		}
+	}
+	return uint64(1) << len(s.WalkHist)
+}
+
+// MemServed returns the number of PT accesses in dimension d served by main
+// memory — the paper's "page table accesses served by main memory" metric.
+func (s *Stats) MemServed(d Dimension) uint64 { return s.Served[d][cache.LevelMemory] }
+
+// Delta returns the field-wise difference s - prev, for windowed
+// measurement (e.g. the §3.3 steady phase after the init boundary).
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Lookups -= prev.Lookups
+	d.TLBHits -= prev.TLBHits
+	d.Walks -= prev.Walks
+	d.GuestFaults -= prev.GuestFaults
+	d.HostFaults -= prev.HostFaults
+	d.WalkCycles -= prev.WalkCycles
+	d.NTLBHits -= prev.NTLBHits
+	for i := range d.WalkHist {
+		d.WalkHist[i] -= prev.WalkHist[i]
+	}
+	for dim := range d.Accesses {
+		d.Accesses[dim] -= prev.Accesses[dim]
+		d.Cycles[dim] -= prev.Cycles[dim]
+		d.PWCHits[dim] -= prev.PWCHits[dim]
+		for lv := range d.Served[dim] {
+			d.Served[dim][lv] -= prev.Served[dim][lv]
+		}
+	}
+	return d
+}
+
+// TLBMisses returns Lookups - TLBHits.
+func (s *Stats) TLBMisses() uint64 { return s.Lookups - s.TLBHits }
+
+// Outcome describes one Translate call.
+type Outcome struct {
+	// HPA is the translated host-physical address (valid when Ok).
+	HPA arch.PhysAddr
+	// Ok reports a completed translation. When false, GuestFault
+	// indicates the guest page table lacked a present, sufficiently
+	// permissive mapping and the caller must run the guest fault handler
+	// and retry.
+	Ok         bool
+	GuestFault bool
+	// TLBHit reports the fast path.
+	TLBHit bool
+	// Cycles is the translation latency charged for this access.
+	Cycles uint64
+}
+
+// Walker performs nested translations for one VM.
+type Walker struct {
+	cfg    Config
+	caches *cache.Hierarchy
+	vm     *hostos.VM
+	tlb    *tlb.TwoLevel
+	ntlb   *tlb.TLB
+	gpwc   *tlb.TLB
+	hpwc   *tlb.TLB
+	stats  Stats
+	// walkBuf is reused across walks to avoid per-walk allocations.
+	walkBuf []pagetable.Access
+}
+
+// writableBit marks writable translations inside TLB payload addresses.
+// Frame addresses are page aligned, so bit 0 is free.
+const writableBit arch.PhysAddr = 1
+
+// New builds a walker for the given VM on the given cache hierarchy.
+func New(cfg Config, caches *cache.Hierarchy, vm *hostos.VM) *Walker {
+	return &Walker{
+		cfg:    cfg,
+		caches: caches,
+		vm:     vm,
+		tlb:    tlb.NewTwoLevel(cfg.TLB),
+		ntlb:   tlb.New(cfg.NTLB),
+		gpwc:   tlb.New(cfg.GuestPWC),
+		hpwc:   tlb.New(cfg.HostPWC),
+	}
+}
+
+// Snapshot returns a copy of the walker counters.
+func (w *Walker) Snapshot() Stats { return w.stats }
+
+// TLB exposes the main TLB (for miss-ratio reporting).
+func (w *Walker) TLB() *tlb.TwoLevel { return w.tlb }
+
+// pwcKey derives the PWC tag: the address prefix that selects a leaf PT
+// node (everything above the leaf index — 2MB regions).
+func pwcKey(a uint64) uint64 { return a >> (arch.PageShift + arch.PTIndexBits) }
+
+// Translate resolves the guest-virtual address va of the process with the
+// given ASID and guest page table, on behalf of cpu. write marks stores so
+// read-only (COW) mappings fault.
+func (w *Walker) Translate(cpu int, asid uint32, gpt *pagetable.Table, va arch.VirtAddr, write bool) Outcome {
+	w.stats.Lookups++
+	vpn := va.PageNumber()
+	if payload, ok := w.tlb.Lookup(asid, vpn); ok {
+		if !write || payload&writableBit != 0 {
+			w.stats.TLBHits++
+			return Outcome{
+				HPA:    (payload &^ writableBit) + arch.PhysAddr(va.PageOffset()),
+				Ok:     true,
+				TLBHit: true,
+				Cycles: w.cfg.TLBHitCycles,
+			}
+		}
+		// Write to a read-only translation: force the fault path.
+		w.tlb.InvalidatePage(asid, vpn)
+	}
+	return w.walk(cpu, asid, gpt, va, write)
+}
+
+// walk performs the full 2D walk.
+func (w *Walker) walk(cpu int, asid uint32, gpt *pagetable.Table, va arch.VirtAddr, write bool) Outcome {
+	w.stats.Walks++
+	var cycles uint64
+
+	// Guest dimension: find the leaf PT node, via the guest PWC when
+	// possible.
+	startLevel := gpt.Levels()
+	startNode := gpt.Root()
+	if nodeGPA, ok := w.gpwc.Lookup(asid, pwcKey(uint64(va))); ok {
+		startLevel = 1
+		startNode = nodeGPA
+		w.stats.PWCHits[DimGuest]++
+	}
+	w.walkBuf = w.walkBuf[:0]
+	accesses, gpa, found := gpt.WalkAppend(w.walkBuf, va, startLevel, startNode)
+	w.walkBuf = accesses
+	for _, a := range accesses {
+		// Each guest PT entry lives at a guest-physical address that the
+		// hardware must translate through the host dimension before the
+		// read can be issued.
+		entryHPA, c := w.translateGPA(cpu, a.EntryAddr)
+		cycles += c
+		lv, lat := w.caches.Access(cpu, entryHPA)
+		w.stats.Accesses[DimGuest]++
+		w.stats.Served[DimGuest][lv]++
+		w.stats.Cycles[DimGuest] += lat
+		cycles += lat
+	}
+	if !found {
+		w.stats.GuestFaults++
+		w.stats.WalkCycles += cycles
+		w.stats.WalkHist[histBucket(cycles)]++
+		return Outcome{GuestFault: true, Cycles: cycles}
+	}
+	// Permission check on the leaf.
+	_, flags, _ := gpt.Translate(va)
+	if write && flags&pagetable.FlagWritable == 0 {
+		w.stats.GuestFaults++
+		w.stats.WalkCycles += cycles
+		return Outcome{GuestFault: true, Cycles: cycles}
+	}
+	if startLevel != 1 {
+		if nodeGPA, ok := gpt.NodeAt(va, 1); ok {
+			w.gpwc.Insert(asid, pwcKey(uint64(va)), nodeGPA)
+		}
+	}
+
+	// Host dimension for the data page.
+	hpaPage, c := w.translateGPA(cpu, gpa.PageBase())
+	cycles += c
+	hpa := hpaPage + arch.PhysAddr(gpa.PageOffset())
+
+	payload := hpaPage
+	if flags&pagetable.FlagWritable != 0 {
+		payload |= writableBit
+	}
+	w.tlb.Insert(asid, va.PageNumber(), payload)
+	w.stats.WalkCycles += cycles
+	w.stats.WalkHist[histBucket(cycles)]++
+	return Outcome{HPA: hpa, Ok: true, Cycles: cycles}
+}
+
+// translateGPA resolves a guest-physical address to host-physical, charging
+// all host PT accesses to the host dimension. Host faults are handled
+// transparently (hypervisor allocates on first touch).
+func (w *Walker) translateGPA(cpu int, gpa arch.PhysAddr) (arch.PhysAddr, uint64) {
+	gfn := gpa.FrameNumber()
+	if hpaPage, ok := w.ntlb.Lookup(0, gfn); ok {
+		w.stats.NTLBHits++
+		return hpaPage + arch.PhysAddr(uint64(gpa)&arch.PageMask), 0
+	}
+	var cycles uint64
+	hpt := w.vm.PageTable()
+	hva := arch.VirtAddr(gpa)
+	for attempt := 0; ; attempt++ {
+		startLevel := hpt.Levels()
+		startNode := hpt.Root()
+		if nodeHPA, ok := w.hpwc.Lookup(0, pwcKey(uint64(hva))); ok {
+			startLevel = 1
+			startNode = nodeHPA
+			w.stats.PWCHits[DimHost]++
+		}
+		accesses, hpa, found := hpt.Walk(hva, startLevel, startNode)
+		for _, a := range accesses {
+			lv, lat := w.caches.Access(cpu, a.EntryAddr)
+			w.stats.Accesses[DimHost]++
+			w.stats.Served[DimHost][lv]++
+			w.stats.Cycles[DimHost] += lat
+			cycles += lat
+		}
+		if found {
+			if startLevel != 1 {
+				if nodeHPA, ok := hpt.NodeAt(hva, 1); ok {
+					w.hpwc.Insert(0, pwcKey(uint64(hva)), nodeHPA)
+				}
+			}
+			hpaPage := hpa.PageBase()
+			w.ntlb.Insert(0, gfn, hpaPage)
+			return hpa, cycles
+		}
+		if attempt > 0 {
+			// The hypervisor failed to map the page; host memory is
+			// exhausted. This is a machine-level condition the simulator
+			// treats as fatal.
+			panic("nested: host fault loop — host memory exhausted")
+		}
+		if err := w.vm.HandleFault(gpa); err != nil {
+			panic("nested: host fault failed: " + err.Error())
+		}
+		w.stats.HostFaults++
+		cycles += w.cfg.HostFaultCycles
+	}
+}
+
+// InvalidatePage drops the translation for (asid, page of va) from the main
+// TLB. The guest kernel's unmap/COW paths call this, mirroring INVLPG.
+func (w *Walker) InvalidatePage(asid uint32, va arch.VirtAddr) {
+	w.tlb.InvalidatePage(asid, va.PageNumber())
+}
+
+// InvalidateASID drops all of a process's translations (process exit).
+func (w *Walker) InvalidateASID(asid uint32) {
+	w.tlb.InvalidateASID(asid)
+	w.gpwc.InvalidateASID(asid)
+}

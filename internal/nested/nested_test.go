@@ -1,0 +1,388 @@
+package nested
+
+import (
+	"testing"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/cache"
+	"ptemagnet/internal/hostos"
+	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/physmem"
+	"ptemagnet/internal/tlb"
+)
+
+// rig bundles a hand-built guest address space over a real host VM.
+type rig struct {
+	guestMem *physmem.Memory
+	gpt      *pagetable.Table
+	vm       *hostos.VM
+	hier     *cache.Hierarchy
+	w        *Walker
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	host := hostos.NewKernel(256 << 20)
+	vm, err := host.CreateVM(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestMem := physmem.New(64 << 20)
+	gpt, err := pagetable.New(guestMem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := cache.NewHierarchy(cache.DefaultConfig(1))
+	return &rig{guestMem: guestMem, gpt: gpt, vm: vm, hier: hier, w: New(cfg, hier, vm)}
+}
+
+// tinyTLBConfig forces main-TLB misses by shrinking the TLB to 4 entries.
+func tinyTLBConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TLB = tlb.TwoLevelConfig{
+		L1: tlb.Config{Entries: 2, Ways: 2},
+		L2: tlb.Config{Entries: 2, Ways: 2},
+	}
+	return cfg
+}
+
+// mapGuest maps va→gpa in the guest table, allocating the guest frame
+// explicitly at gpa (the test controls contiguity).
+func (r *rig) mapGuest(t *testing.T, va arch.VirtAddr, gpa arch.PhysAddr, flags pagetable.Flags) {
+	t.Helper()
+	if err := r.gpt.Map(va, gpa, flags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateUnmappedIsGuestFault(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	out := r.w.Translate(0, 1, r.gpt, 0x1000, false)
+	if out.Ok || !out.GuestFault {
+		t.Fatalf("outcome = %+v, want guest fault", out)
+	}
+	if r.w.Snapshot().GuestFaults != 1 {
+		t.Error("guest fault not counted")
+	}
+}
+
+func TestTranslateThenTLBHit(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagWritable)
+	out := r.w.Translate(0, 1, r.gpt, va+0x123, false)
+	if !out.Ok || out.TLBHit {
+		t.Fatalf("first translate: %+v", out)
+	}
+	hpa, ok := r.vm.Translate(0x100000)
+	if !ok {
+		t.Fatal("host did not map the data page")
+	}
+	if out.HPA != hpa+0x123 {
+		t.Errorf("HPA = %#x, want %#x", out.HPA, hpa+0x123)
+	}
+	out2 := r.w.Translate(0, 1, r.gpt, va+0x456, false)
+	if !out2.Ok || !out2.TLBHit {
+		t.Fatalf("second translate: %+v", out2)
+	}
+	if out2.HPA != hpa+0x456 {
+		t.Errorf("TLB-hit HPA = %#x, want %#x", out2.HPA, hpa+0x456)
+	}
+	if out2.Cycles != DefaultConfig().TLBHitCycles {
+		t.Errorf("TLB-hit cycles = %d", out2.Cycles)
+	}
+}
+
+func TestHostFaultsAreTransparent(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagWritable)
+	out := r.w.Translate(0, 1, r.gpt, va, false)
+	if !out.Ok {
+		t.Fatalf("translate failed: %+v", out)
+	}
+	s := r.w.Snapshot()
+	// The data page and every touched guest PT node page need host
+	// backing: at least 2 host faults (data + leaf PT node …).
+	if s.HostFaults < 2 {
+		t.Errorf("HostFaults = %d, want >= 2", s.HostFaults)
+	}
+	if r.vm.Faults() != s.HostFaults {
+		t.Errorf("walker counted %d host faults, VM %d", s.HostFaults, r.vm.Faults())
+	}
+	// Re-translating a neighbouring page causes no further host faults
+	// for PT nodes (already mapped).
+	r.mapGuest(t, va+arch.PageSize, 0x101000, pagetable.FlagWritable)
+	before := r.w.Snapshot().HostFaults
+	r.w.Translate(0, 1, r.gpt, va+arch.PageSize, false)
+	if got := r.w.Snapshot().HostFaults - before; got != 1 { // data page only
+		t.Errorf("second translate took %d host faults, want 1", got)
+	}
+}
+
+func TestWriteToReadOnlyFaults(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagCOW) // not writable
+	if out := r.w.Translate(0, 1, r.gpt, va, false); !out.Ok {
+		t.Fatalf("read translate failed: %+v", out)
+	}
+	out := r.w.Translate(0, 1, r.gpt, va, true)
+	if out.Ok || !out.GuestFault {
+		t.Fatalf("write to RO page: %+v, want guest fault", out)
+	}
+	// After the kernel "handles COW" (remap writable), writes succeed.
+	r.mapGuest(t, va, 0x200000, pagetable.FlagWritable)
+	r.w.InvalidatePage(1, va)
+	if out := r.w.Translate(0, 1, r.gpt, va, true); !out.Ok {
+		t.Fatalf("write after COW resolve: %+v", out)
+	}
+}
+
+func TestWriteHittingReadOnlyTLBEntryFaults(t *testing.T) {
+	// A read first installs a read-only TLB entry; a subsequent write
+	// must not silently succeed through the TLB.
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagCOW)
+	r.w.Translate(0, 1, r.gpt, va, false) // installs RO entry
+	out := r.w.Translate(0, 1, r.gpt, va, true)
+	if out.Ok || !out.GuestFault {
+		t.Fatalf("write via RO TLB entry: %+v", out)
+	}
+}
+
+func TestASIDIsolationInWalker(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagWritable)
+	r.w.Translate(0, 1, r.gpt, va, false)
+	// A different ASID with a different (empty) table must not hit the
+	// first process's TLB entry.
+	gpt2, err := pagetable.New(r.guestMem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.w.Translate(0, 2, gpt2, va, false)
+	if out.Ok {
+		t.Fatal("ASID 2 translated through ASID 1's TLB entry")
+	}
+}
+
+func TestInvalidateASID(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagWritable)
+	r.w.Translate(0, 1, r.gpt, va, false)
+	r.w.InvalidateASID(1)
+	out := r.w.Translate(0, 1, r.gpt, va, false)
+	if out.TLBHit {
+		t.Error("TLB entry survived InvalidateASID")
+	}
+}
+
+func TestWalkAccessAttribution(t *testing.T) {
+	r := newRig(t, tinyTLBConfig())
+	va := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, va, 0x100000, pagetable.FlagWritable)
+	out := r.w.Translate(0, 1, r.gpt, va, false)
+	if !out.Ok {
+		t.Fatalf("translate: %+v", out)
+	}
+	s := r.w.Snapshot()
+	// Cold walk: 4 guest PT accesses; host accesses for each guest node
+	// page + the data page (PWCs cold too).
+	if s.Accesses[DimGuest] != 4 {
+		t.Errorf("guest PT accesses = %d, want 4", s.Accesses[DimGuest])
+	}
+	if s.Accesses[DimHost] == 0 {
+		t.Error("no host PT accesses recorded")
+	}
+	if s.WalkCycles == 0 || out.Cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	var guestServedTotal uint64
+	for _, c := range s.Served[DimGuest] {
+		guestServedTotal += c
+	}
+	if guestServedTotal != s.Accesses[DimGuest] {
+		t.Errorf("guest served sum %d != accesses %d", guestServedTotal, s.Accesses[DimGuest])
+	}
+}
+
+func TestPWCsShortenWarmWalks(t *testing.T) {
+	r := newRig(t, tinyTLBConfig())
+	base := arch.VirtAddr(0x7f0000000000)
+	for i := 0; i < 16; i++ {
+		r.mapGuest(t, base+arch.VirtAddr(i*arch.PageSize), arch.PhysAddr(0x100000+i*arch.PageSize), pagetable.FlagWritable)
+	}
+	// Warm up PWCs with the first page.
+	r.w.Translate(0, 1, r.gpt, base, false)
+	before := r.w.Snapshot()
+	// The TLB has 4 entries; translating 16 pages round-robin misses
+	// plenty. Warm walks should take ~1 guest access each (leaf only).
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 16; i++ {
+			r.w.Translate(0, 1, r.gpt, base+arch.VirtAddr(i*arch.PageSize), false)
+		}
+	}
+	after := r.w.Snapshot()
+	walks := after.Walks - before.Walks
+	guestAccesses := after.Accesses[DimGuest] - before.Accesses[DimGuest]
+	if walks == 0 {
+		t.Fatal("no walks with tiny TLB")
+	}
+	perWalk := float64(guestAccesses) / float64(walks)
+	if perWalk > 1.5 {
+		t.Errorf("warm walks average %.2f guest accesses, want ~1 (PWC broken)", perWalk)
+	}
+	if after.PWCHits[DimGuest] == before.PWCHits[DimGuest] {
+		t.Error("guest PWC never hit")
+	}
+}
+
+func TestContiguityReducesHostPTEFootprint(t *testing.T) {
+	// The paper's central mechanism, end to end: translate a spatially
+	// local access stream over 64 guest pages whose gPAs are either
+	// contiguous (PTEMagnet layout) or scattered (fragmented default
+	// layout), and compare the number of distinct host-leaf-PTE cache
+	// blocks touched. Contiguous must touch 8x fewer.
+	run := func(scatter bool) int {
+		host := hostos.NewKernel(256 << 20)
+		vm, _ := host.CreateVM(64 << 20)
+		guestMem := physmem.New(64 << 20)
+		gpt, _ := pagetable.New(guestMem, 1)
+		hier := cache.NewHierarchy(cache.DefaultConfig(1))
+		w := New(tinyTLBConfig(), hier, vm)
+		base := arch.VirtAddr(0x7f0000000000)
+		for i := 0; i < 64; i++ {
+			gpa := arch.PhysAddr(0x400000 + i*arch.PageSize)
+			if scatter {
+				// 16 pages apart: every page in a different hPTE block.
+				gpa = arch.PhysAddr(0x400000 + i*16*arch.PageSize)
+			}
+			if err := gpt.Map(base+arch.VirtAddr(i*arch.PageSize), gpa, pagetable.FlagWritable); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 64; i++ {
+				out := w.Translate(0, 1, gpt, base+arch.VirtAddr(i*arch.PageSize), false)
+				if !out.Ok {
+					t.Fatalf("translate failed: %+v", out)
+				}
+			}
+		}
+		// Count distinct host leaf PTE cache blocks.
+		blocks := map[uint64]bool{}
+		for i := 0; i < 64; i++ {
+			gpa, _, _ := gpt.Translate(base + arch.VirtAddr(i*arch.PageSize))
+			ea, ok := vm.PageTable().LeafEntryAddr(arch.VirtAddr(gpa))
+			if !ok {
+				t.Fatal("host leaf entry missing")
+			}
+			blocks[ea.CacheBlock()] = true
+		}
+		return len(blocks)
+	}
+	contig := run(false)
+	scattered := run(true)
+	if contig != 8 {
+		t.Errorf("contiguous layout: %d hPTE blocks, want 8", contig)
+	}
+	if scattered != 64 {
+		t.Errorf("scattered layout: %d hPTE blocks, want 64", scattered)
+	}
+}
+
+func TestStatsMemServed(t *testing.T) {
+	var s Stats
+	s.Served[DimHost][cache.LevelMemory] = 42
+	if s.MemServed(DimHost) != 42 {
+		t.Error("MemServed wrong")
+	}
+}
+
+func BenchmarkTranslateTLBHit(b *testing.B) {
+	host := hostos.NewKernel(256 << 20)
+	vm, _ := host.CreateVM(64 << 20)
+	guestMem := physmem.New(64 << 20)
+	gpt, _ := pagetable.New(guestMem, 1)
+	hier := cache.NewHierarchy(cache.DefaultConfig(1))
+	w := New(DefaultConfig(), hier, vm)
+	gpt.Map(0x1000, 0x100000, pagetable.FlagWritable)
+	w.Translate(0, 1, gpt, 0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Translate(0, 1, gpt, 0x1000, false)
+	}
+}
+
+func BenchmarkTranslateWalk(b *testing.B) {
+	host := hostos.NewKernel(512 << 20)
+	vm, _ := host.CreateVM(256 << 20)
+	guestMem := physmem.New(256 << 20)
+	gpt, _ := pagetable.New(guestMem, 1)
+	hier := cache.NewHierarchy(cache.DefaultConfig(1))
+	cfg := DefaultConfig()
+	cfg.TLB = tlb.TwoLevelConfig{L1: tlb.Config{Entries: 2, Ways: 2}, L2: tlb.Config{Entries: 2, Ways: 2}}
+	w := New(cfg, hier, vm)
+	const pages = 4096
+	for i := 0; i < pages; i++ {
+		gpt.Map(arch.VirtAddr(i)<<arch.PageShift, arch.PhysAddr(0x400000+i*arch.PageSize), pagetable.FlagWritable)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Translate(0, 1, gpt, arch.VirtAddr(i%pages)<<arch.PageShift, false)
+	}
+}
+
+func TestWalkHistogram(t *testing.T) {
+	r := newRig(t, tinyTLBConfig())
+	base := arch.VirtAddr(0x7f0000000000)
+	for i := 0; i < 32; i++ {
+		r.mapGuest(t, base+arch.VirtAddr(i*arch.PageSize), arch.PhysAddr(0x100000+i*arch.PageSize), pagetable.FlagWritable)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 32; i++ {
+			r.w.Translate(0, 1, r.gpt, base+arch.VirtAddr(i*arch.PageSize), false)
+		}
+	}
+	s := r.w.Snapshot()
+	var total uint64
+	for _, c := range s.WalkHist {
+		total += c
+	}
+	if total != s.Walks {
+		t.Errorf("histogram holds %d walks, stats say %d", total, s.Walks)
+	}
+	p50 := s.WalkLatencyPercentile(0.5)
+	p99 := s.WalkLatencyPercentile(0.99)
+	if p50 == 0 || p99 < p50 {
+		t.Errorf("percentiles p50=%d p99=%d", p50, p99)
+	}
+}
+
+func TestWalkLatencyPercentileEmpty(t *testing.T) {
+	var s Stats
+	if s.WalkLatencyPercentile(0.5) != 0 {
+		t.Error("empty stats percentile != 0")
+	}
+}
+
+func TestStatsDeltaIncludesHistogram(t *testing.T) {
+	r := newRig(t, tinyTLBConfig())
+	base := arch.VirtAddr(0x7f0000000000)
+	r.mapGuest(t, base, 0x100000, pagetable.FlagWritable)
+	r.w.Translate(0, 1, r.gpt, base, false)
+	snap := r.w.Snapshot()
+	r.w.Translate(0, 1, r.gpt, base, false) // TLB hit, no walk
+	d := r.w.Snapshot().Delta(snap)
+	var total uint64
+	for _, c := range d.WalkHist {
+		total += c
+	}
+	if total != d.Walks {
+		t.Errorf("delta histogram %d != delta walks %d", total, d.Walks)
+	}
+}

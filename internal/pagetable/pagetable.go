@@ -1,0 +1,522 @@
+// Package pagetable implements x86-64-style four-level radix page tables
+// whose nodes are real frames of a simulated physical memory.
+//
+// Because nodes occupy genuine frames, every page-table entry has a concrete
+// physical address, and a page walk is a concrete sequence of physical
+// reads — one entry per level. That is what lets the rest of the simulator
+// reproduce the paper's central observation: guest PTEs of adjacent virtual
+// pages share cache blocks, while host PTEs of those same pages scatter when
+// guest-physical memory is fragmented (paper §2.6, §3.2).
+//
+// Entries are encoded in 8 bytes like real PTEs: a frame address plus flag
+// bits in the low 12 bits (present, writable, copy-on-write).
+package pagetable
+
+import (
+	"fmt"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/physmem"
+)
+
+// Flags carries the per-mapping permission bits the simulation needs.
+type Flags uint8
+
+const (
+	// FlagWritable marks a page writable; fork clears it on COW pages.
+	FlagWritable Flags = 1 << iota
+	// FlagCOW marks a page as copy-on-write: the first write must copy.
+	FlagCOW
+)
+
+// pte encodes an entry: bits 12+ hold the target frame address, bit 0 is
+// present, bits 1-2 hold Flags, bit 3 is the page-size bit (a level-2 entry
+// that maps a 2MB page directly, like the x86 PS bit).
+type pte uint64
+
+const (
+	ptePresent  pte = 1 << 0
+	pteFlagBase     = 1
+	pteLarge    pte = 1 << 3
+)
+
+func makePTE(pa arch.PhysAddr, flags Flags) pte {
+	return pte(pa.PageBase()) | ptePresent | pte(flags)<<pteFlagBase
+}
+
+func makeLargePTE(pa arch.PhysAddr, flags Flags) pte {
+	return makePTE(pa, flags) | pteLarge
+}
+
+func (e pte) present() bool       { return e&ptePresent != 0 }
+func (e pte) large() bool         { return e&pteLarge != 0 }
+func (e pte) addr() arch.PhysAddr { return arch.PhysAddr(e).PageBase() }
+func (e pte) flags() Flags        { return Flags(e>>pteFlagBase) & (FlagWritable | FlagCOW) }
+
+// LargePageShift is log2 of the large (huge) page size mapped by a level-2
+// entry: 2MB on x86-64.
+const LargePageShift = arch.PageShift + arch.PTIndexBits
+
+// LargePageBytes is the large page size (2MB).
+const LargePageBytes = 1 << LargePageShift
+
+// LargePageMask masks the offset within a large page.
+const LargePageMask = LargePageBytes - 1
+
+// node is the in-simulator representation of one page-table page.
+type node struct {
+	entries [arch.PTEntriesPerNode]pte
+	live    int // number of present entries
+}
+
+// Access records one physical read a hardware page walker performs: the
+// entry consulted at one level.
+type Access struct {
+	// Level is the radix level, 4 (root) down to 1 (leaf).
+	Level int
+	// EntryAddr is the physical address of the 8-byte entry read.
+	EntryAddr arch.PhysAddr
+}
+
+// Table is one process's (or one VM's) page table.
+type Table struct {
+	mem    *physmem.Memory
+	owner  int
+	levels int
+	root   arch.PhysAddr
+	nodes  map[arch.PhysAddr]*node
+	// mapped counts present leaf entries (a large mapping counts as 512
+	// pages — its full 4KB-page equivalent).
+	mapped uint64
+	// largeMapped counts present large (2MB) mappings.
+	largeMapped uint64
+}
+
+// New allocates a four-level page table with an empty root node in mem,
+// with its node frames tagged as page-table memory owned by owner.
+func New(mem *physmem.Memory, owner int) (*Table, error) {
+	return NewWithLevels(mem, owner, arch.PTLevels)
+}
+
+// NewWithLevels allocates a page table with the given radix depth: 4
+// (x86-64 four-level paging, 48-bit VAs) or 5 (LA57 five-level paging,
+// 57-bit VAs — the migration the paper's §2.5 anticipates, which lengthens
+// every dimension of a nested walk).
+func NewWithLevels(mem *physmem.Memory, owner, levels int) (*Table, error) {
+	if levels != 4 && levels != 5 {
+		return nil, fmt.Errorf("pagetable: unsupported depth %d (want 4 or 5)", levels)
+	}
+	t := &Table{mem: mem, owner: owner, levels: levels, nodes: make(map[arch.PhysAddr]*node)}
+	root, err := t.allocNode()
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Levels returns the radix depth (4 or 5).
+func (t *Table) Levels() int { return t.levels }
+
+// Root returns the physical address of the root (PML4) node.
+func (t *Table) Root() arch.PhysAddr { return t.root }
+
+// NodeCount returns the number of allocated page-table nodes (all levels).
+func (t *Table) NodeCount() int { return len(t.nodes) }
+
+// MappedPages returns the number of present leaf entries.
+func (t *Table) MappedPages() uint64 { return t.mapped }
+
+func (t *Table) allocNode() (arch.PhysAddr, error) {
+	pa, ok := t.mem.AllocFrame(physmem.KindPageTable, t.owner)
+	if !ok {
+		return arch.NoPhysAddr, fmt.Errorf("pagetable: out of physical memory for node (owner %d)", t.owner)
+	}
+	t.nodes[pa] = &node{}
+	return pa, nil
+}
+
+// Map installs va → pa with flags, creating intermediate nodes on demand.
+// Mapping an already-mapped page replaces the entry in place. Mapping a 4KB
+// page inside a region covered by a large (2MB) mapping is an error; demote
+// the large mapping first.
+func (t *Table) Map(va arch.VirtAddr, pa arch.PhysAddr, flags Flags) error {
+	n := t.nodes[t.root]
+	cur := t.root
+	for level := t.levels; level > 1; level-- {
+		idx := va.PTIndex(level)
+		e := n.entries[idx]
+		if e.present() && e.large() {
+			return fmt.Errorf("pagetable: %#x covered by a large mapping; demote first", uint64(va))
+		}
+		if !e.present() {
+			child, err := t.allocNode()
+			if err != nil {
+				return err
+			}
+			n.entries[idx] = makePTE(child, 0)
+			n.live++
+			cur = child
+		} else {
+			cur = e.addr()
+		}
+		n = t.nodes[cur]
+	}
+	idx := va.PTIndex(1)
+	if !n.entries[idx].present() {
+		n.live++
+		t.mapped++
+	}
+	n.entries[idx] = makePTE(pa, flags)
+	return nil
+}
+
+// Unmap removes the leaf entry for va, returning the previously mapped
+// address and flags. Intermediate nodes are retained (as Linux does for
+// process lifetimes).
+func (t *Table) Unmap(va arch.VirtAddr) (arch.PhysAddr, Flags, bool) {
+	n, idx, ok := t.leaf(va)
+	if !ok || !n.entries[idx].present() {
+		return arch.NoPhysAddr, 0, false
+	}
+	e := n.entries[idx]
+	n.entries[idx] = 0
+	n.live--
+	t.mapped--
+	return e.addr(), e.flags(), true
+}
+
+// Translate performs a logical lookup of va, with no access trace. Large
+// (2MB) mappings translate like hardware: base plus the 21-bit offset.
+func (t *Table) Translate(va arch.VirtAddr) (arch.PhysAddr, Flags, bool) {
+	if n, idx, ok := t.largeEntry(va); ok {
+		e := n.entries[idx]
+		return e.addr() + arch.PhysAddr(uint64(va)&LargePageMask), e.flags(), true
+	}
+	n, idx, ok := t.leaf(va)
+	if !ok || !n.entries[idx].present() {
+		return arch.NoPhysAddr, 0, false
+	}
+	e := n.entries[idx]
+	return e.addr() + arch.PhysAddr(va.PageOffset()), e.flags(), true
+}
+
+// MapLarge installs a 2MB mapping at level 2: va and pa must be 2MB-aligned
+// and the region must not already contain 4KB mappings.
+func (t *Table) MapLarge(va arch.VirtAddr, pa arch.PhysAddr, flags Flags) error {
+	if uint64(va)&LargePageMask != 0 || uint64(pa)&LargePageMask != 0 {
+		return fmt.Errorf("pagetable: MapLarge of unaligned %#x → %#x", uint64(va), uint64(pa))
+	}
+	n := t.nodes[t.root]
+	cur := t.root
+	for level := t.levels; level > 2; level-- {
+		idx := va.PTIndex(level)
+		e := n.entries[idx]
+		if !e.present() {
+			child, err := t.allocNode()
+			if err != nil {
+				return err
+			}
+			n.entries[idx] = makePTE(child, 0)
+			n.live++
+			cur = child
+		} else {
+			cur = e.addr()
+		}
+		n = t.nodes[cur]
+	}
+	idx := va.PTIndex(2)
+	if e := n.entries[idx]; e.present() {
+		if e.large() {
+			return fmt.Errorf("pagetable: %#x already has a large mapping", uint64(va))
+		}
+		leaf := t.nodes[e.addr()]
+		if leaf.live > 0 {
+			return fmt.Errorf("pagetable: %#x has 4KB mappings; cannot overlay a large page", uint64(va))
+		}
+		// An empty leaf node left behind by 4KB mappings that were all
+		// unmapped since: reclaim it and install the large entry in its
+		// place.
+		delete(t.nodes, e.addr())
+		t.mem.FreeBlock(e.addr())
+		n.entries[idx] = 0
+		n.live--
+	}
+	n.entries[idx] = makeLargePTE(pa, flags)
+	n.live++
+	t.mapped += arch.PTEntriesPerNode
+	t.largeMapped++
+	return nil
+}
+
+// HasMappingsInLargeRegion reports whether va's 2MB-aligned region contains
+// any mapping — a large page or at least one 4KB page. THP promotion is
+// only legal on fully empty regions.
+func (t *Table) HasMappingsInLargeRegion(va arch.VirtAddr) bool {
+	n := t.nodes[t.root]
+	for level := t.levels; level > 2; level-- {
+		e := n.entries[va.PTIndex(level)]
+		if !e.present() {
+			return false
+		}
+		if e.large() {
+			return true
+		}
+		n = t.nodes[e.addr()]
+	}
+	e := n.entries[va.PTIndex(2)]
+	if !e.present() {
+		return false
+	}
+	if e.large() {
+		return true
+	}
+	return t.nodes[e.addr()].live > 0
+}
+
+// ForEachLarge visits the 2MB-aligned virtual base of every live large
+// mapping. Stops early when fn returns false.
+func (t *Table) ForEachLarge(fn func(va arch.VirtAddr) bool) {
+	t.forEachLargeNode(t.root, t.levels, 0, fn)
+}
+
+func (t *Table) forEachLargeNode(nodePA arch.PhysAddr, level int, prefix uint64, fn func(arch.VirtAddr) bool) bool {
+	n := t.nodes[nodePA]
+	shift := arch.PageShift + (level-1)*arch.PTIndexBits
+	for idx, e := range n.entries {
+		if !e.present() {
+			continue
+		}
+		va := prefix | uint64(idx)<<shift
+		if level == 2 {
+			if e.large() && !fn(arch.VirtAddr(va)) {
+				return false
+			}
+			continue
+		}
+		if !t.forEachLargeNode(e.addr(), level-1, va, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLargeMapped reports whether va is covered by a 2MB mapping.
+func (t *Table) IsLargeMapped(va arch.VirtAddr) bool {
+	_, _, ok := t.largeEntry(va)
+	return ok
+}
+
+// LargeMappings returns the number of live 2MB mappings.
+func (t *Table) LargeMappings() uint64 { return t.largeMapped }
+
+// UnmapLarge removes the 2MB mapping covering va, returning its base frame
+// address and flags.
+func (t *Table) UnmapLarge(va arch.VirtAddr) (arch.PhysAddr, Flags, bool) {
+	n, idx, ok := t.largeEntry(va)
+	if !ok {
+		return arch.NoPhysAddr, 0, false
+	}
+	e := n.entries[idx]
+	n.entries[idx] = 0
+	n.live--
+	t.mapped -= arch.PTEntriesPerNode
+	t.largeMapped--
+	return e.addr(), e.flags(), true
+}
+
+// Demote splits the 2MB mapping covering va into 512 4KB mappings over the
+// same physical range — the THP-split operation Linux performs on partial
+// frees, COW, and swapping. It allocates one leaf node.
+func (t *Table) Demote(va arch.VirtAddr) error {
+	n, idx, ok := t.largeEntry(va)
+	if !ok {
+		return fmt.Errorf("pagetable: no large mapping at %#x", uint64(va))
+	}
+	e := n.entries[idx]
+	leafPA, err := t.allocNode()
+	if err != nil {
+		return err
+	}
+	leaf := t.nodes[leafPA]
+	for i := 0; i < arch.PTEntriesPerNode; i++ {
+		leaf.entries[i] = makePTE(e.addr()+arch.PhysAddr(i<<arch.PageShift), e.flags())
+	}
+	leaf.live = arch.PTEntriesPerNode
+	n.entries[idx] = makePTE(leafPA, 0)
+	t.largeMapped--
+	return nil
+}
+
+// SetFlags rewrites the flags of an existing mapping. It reports whether the
+// page was mapped.
+func (t *Table) SetFlags(va arch.VirtAddr, flags Flags) bool {
+	n, idx, ok := t.leaf(va)
+	if !ok || !n.entries[idx].present() {
+		return false
+	}
+	n.entries[idx] = makePTE(n.entries[idx].addr(), flags)
+	return true
+}
+
+func (t *Table) leaf(va arch.VirtAddr) (*node, int, bool) {
+	n := t.nodes[t.root]
+	for level := t.levels; level > 1; level-- {
+		e := n.entries[va.PTIndex(level)]
+		if !e.present() || e.large() {
+			return nil, 0, false
+		}
+		n = t.nodes[e.addr()]
+	}
+	return n, va.PTIndex(1), true
+}
+
+// largeEntry returns the level-2 node and index holding va's large mapping,
+// if one exists.
+func (t *Table) largeEntry(va arch.VirtAddr) (*node, int, bool) {
+	n := t.nodes[t.root]
+	for level := t.levels; level > 2; level-- {
+		e := n.entries[va.PTIndex(level)]
+		if !e.present() || e.large() {
+			return nil, 0, false
+		}
+		n = t.nodes[e.addr()]
+	}
+	idx := va.PTIndex(2)
+	if e := n.entries[idx]; e.present() && e.large() {
+		return n, idx, true
+	}
+	return nil, 0, false
+}
+
+// Walk performs a hardware-style walk for va: it returns the physical
+// address of the entry read at each level, from the root down, stopping at
+// the first non-present entry. found reports whether a leaf translation was
+// reached; pa is the translated physical address when found.
+//
+// startLevel allows a page-walk cache to skip upper levels: a walk beginning
+// at level 2 reads only the level-2 and level-1 entries. nodePA must then be
+// the node supplied by the PWC. Use WalkFull for an uncached walk.
+func (t *Table) Walk(va arch.VirtAddr, startLevel int, nodePA arch.PhysAddr) (accesses []Access, pa arch.PhysAddr, found bool) {
+	return t.WalkAppend(nil, va, startLevel, nodePA)
+}
+
+// WalkAppend is Walk appending to dst, letting hot callers reuse a buffer
+// across walks instead of allocating one per TLB miss.
+func (t *Table) WalkAppend(dst []Access, va arch.VirtAddr, startLevel int, nodePA arch.PhysAddr) (accesses []Access, pa arch.PhysAddr, found bool) {
+	accesses = dst
+	if startLevel < 1 || startLevel > t.levels {
+		panic(fmt.Sprintf("pagetable: bad start level %d", startLevel))
+	}
+	n := t.nodes[nodePA]
+	if n == nil {
+		panic(fmt.Sprintf("pagetable: walk from unknown node %#x", uint64(nodePA)))
+	}
+	cur := nodePA
+	for level := startLevel; level >= 1; level-- {
+		idx := va.PTIndex(level)
+		entryAddr := cur + arch.PhysAddr(idx*arch.PTEBytes)
+		accesses = append(accesses, Access{Level: level, EntryAddr: entryAddr})
+		e := n.entries[idx]
+		if !e.present() {
+			return accesses, arch.NoPhysAddr, false
+		}
+		if level == 2 && e.large() {
+			// PS bit set: the walk terminates one level early with a 2MB
+			// translation.
+			return accesses, e.addr() + arch.PhysAddr(uint64(va)&LargePageMask), true
+		}
+		if level == 1 {
+			return accesses, e.addr() + arch.PhysAddr(va.PageOffset()), true
+		}
+		cur = e.addr()
+		n = t.nodes[cur]
+	}
+	return accesses, arch.NoPhysAddr, false
+}
+
+// WalkFull walks from the root (no page-walk-cache assistance).
+func (t *Table) WalkFull(va arch.VirtAddr) ([]Access, arch.PhysAddr, bool) {
+	return t.Walk(va, t.levels, t.root)
+}
+
+// NodeAt returns the physical address of the page-table node that a walk
+// for va consults at the given level, and whether that node exists. A
+// page-walk cache stores exactly this mapping (va prefix at level → node).
+func (t *Table) NodeAt(va arch.VirtAddr, level int) (arch.PhysAddr, bool) {
+	cur := t.root
+	n := t.nodes[cur]
+	for l := t.levels; l > level; l-- {
+		e := n.entries[va.PTIndex(l)]
+		if !e.present() || e.large() {
+			return arch.NoPhysAddr, false
+		}
+		cur = e.addr()
+		n = t.nodes[cur]
+	}
+	return cur, true
+}
+
+// LeafEntryAddr returns the physical address of the leaf (level-1) PTE that
+// maps va, and whether the leaf node exists. The fragmentation metric is
+// computed over these addresses: adjacent virtual pages whose leaf entries
+// share a cache block enjoy the locality of Figure 3.
+func (t *Table) LeafEntryAddr(va arch.VirtAddr) (arch.PhysAddr, bool) {
+	nodePA, ok := t.NodeAt(va, 1)
+	if !ok {
+		return arch.NoPhysAddr, false
+	}
+	return nodePA + arch.PhysAddr(va.PTIndex(1)*arch.PTEBytes), true
+}
+
+// ForEachMapped invokes fn for every present leaf mapping in ascending
+// virtual-address order. fn receives the page-aligned virtual address, the
+// mapped frame address, and the flags. Iteration stops early if fn returns
+// false.
+func (t *Table) ForEachMapped(fn func(va arch.VirtAddr, pa arch.PhysAddr, flags Flags) bool) {
+	t.walkNode(t.root, t.levels, 0, fn)
+}
+
+func (t *Table) walkNode(nodePA arch.PhysAddr, level int, prefix uint64, fn func(arch.VirtAddr, arch.PhysAddr, Flags) bool) bool {
+	n := t.nodes[nodePA]
+	shift := arch.PageShift + (level-1)*arch.PTIndexBits
+	for idx, e := range n.entries {
+		if !e.present() {
+			continue
+		}
+		va := prefix | uint64(idx)<<shift
+		if level == 1 {
+			if !fn(arch.VirtAddr(va), e.addr(), e.flags()) {
+				return false
+			}
+			continue
+		}
+		if level == 2 && e.large() {
+			// A 2MB mapping is visited as its 512 constituent pages, so
+			// callers (RSS accounting, fragmentation metric, teardown)
+			// need no special case.
+			for i := 0; i < arch.PTEntriesPerNode; i++ {
+				pageVA := arch.VirtAddr(va | uint64(i)<<arch.PageShift)
+				if !fn(pageVA, e.addr()+arch.PhysAddr(i<<arch.PageShift), e.flags()) {
+					return false
+				}
+			}
+			continue
+		}
+		if !t.walkNode(e.addr(), level-1, va, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Destroy releases every node frame back to physical memory. The table must
+// not be used afterwards. Mapped data frames are not freed — the owning
+// kernel frees those according to its own bookkeeping.
+func (t *Table) Destroy() {
+	for pa := range t.nodes {
+		t.mem.FreeBlock(pa)
+	}
+	t.nodes = nil
+	t.mapped = 0
+}

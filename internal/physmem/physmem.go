@@ -1,0 +1,232 @@
+// Package physmem models the physical memory of one machine (the host) or
+// one virtual machine (guest-physical memory).
+//
+// It wraps a buddy allocator with per-frame bookkeeping: what kind of data
+// occupies each frame (user pages, page-table nodes, PTEMagnet reservations)
+// and which process owns it. The bookkeeping exists for two reasons: the
+// simulated kernels use it to validate their own behaviour (a page-table
+// walker must only ever touch page-table frames), and the metrics layer uses
+// it to attribute cache traffic to guest-PT versus host-PT structures —
+// the attribution at the heart of the paper's Tables 1 and 4.
+package physmem
+
+import (
+	"fmt"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/buddy"
+)
+
+// FrameKind classifies the contents of a physical frame.
+type FrameKind uint8
+
+const (
+	// KindFree marks an unallocated frame.
+	KindFree FrameKind = iota
+	// KindUser marks a frame holding application data.
+	KindUser
+	// KindPageTable marks a frame holding a page-table node of this
+	// memory's own kernel (guest PT nodes in guest-physical memory, host
+	// PT nodes in host-physical memory).
+	KindPageTable
+	// KindReserved marks a frame inside a PTEMagnet reservation that has
+	// been taken from the buddy allocator but not yet mapped to the
+	// application. The kernel still owns it and can reclaim it quickly
+	// (paper §4.2).
+	KindReserved
+	// KindKernel marks miscellaneous kernel-owned memory.
+	KindKernel
+)
+
+// String returns a short human-readable name for the kind.
+func (k FrameKind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindUser:
+		return "user"
+	case KindPageTable:
+		return "pagetable"
+	case KindReserved:
+		return "reserved"
+	case KindKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// NoOwner is the owner recorded for kernel-owned frames.
+const NoOwner = -1
+
+// Memory is the physical memory of one machine, managed by a buddy
+// allocator with per-frame kind/owner bookkeeping.
+type Memory struct {
+	alloc *buddy.Allocator
+	kind  []FrameKind
+	owner []int32
+}
+
+// New creates a memory of the given size in bytes, which must be a positive
+// multiple of the page size.
+func New(bytes uint64) *Memory {
+	if bytes == 0 || bytes%arch.PageSize != 0 {
+		panic(fmt.Sprintf("physmem: size %d is not a positive page multiple", bytes))
+	}
+	nframes := bytes >> arch.PageShift
+	m := &Memory{
+		alloc: buddy.New(nframes),
+		kind:  make([]FrameKind, nframes),
+		owner: make([]int32, nframes),
+	}
+	for i := range m.owner {
+		m.owner[i] = NoOwner
+	}
+	// Frame 0 is permanently kernel-reserved (the buddy never hands it
+	// out); record it as such.
+	m.kind[0] = KindKernel
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return m.alloc.NumFrames() << arch.PageShift }
+
+// NumFrames returns the number of page frames.
+func (m *Memory) NumFrames() uint64 { return m.alloc.NumFrames() }
+
+// FreeFrames returns the number of free page frames.
+func (m *Memory) FreeFrames() uint64 { return m.alloc.FreeFrames() }
+
+// UsedFrames returns the number of allocated page frames.
+func (m *Memory) UsedFrames() uint64 { return m.alloc.UsedFrames() }
+
+// Buddy exposes the underlying allocator for read-only inspection (free-list
+// shape, stats). Callers must not allocate or free through it directly.
+func (m *Memory) Buddy() *buddy.Allocator { return m.alloc }
+
+// AllocFrame allocates one frame of the given kind for the given owner and
+// returns its physical address. ok is false when memory is exhausted.
+func (m *Memory) AllocFrame(kind FrameKind, owner int) (arch.PhysAddr, bool) {
+	frame, ok := m.alloc.AllocPage()
+	if !ok {
+		return arch.NoPhysAddr, false
+	}
+	m.tag(frame, 1, kind, owner)
+	return arch.FrameToPhys(frame), true
+}
+
+// AllocOrder allocates a 2^order-frame contiguous, naturally aligned block
+// of the given kind and owner, returning the address of its first frame.
+// PTEMagnet's reservation path uses order 3 (eight pages).
+func (m *Memory) AllocOrder(order int, kind FrameKind, owner int) (arch.PhysAddr, bool) {
+	frame, ok := m.alloc.AllocOrder(order)
+	if !ok {
+		return arch.NoPhysAddr, false
+	}
+	m.tag(frame, uint64(1)<<order, kind, owner)
+	return arch.FrameToPhys(frame), true
+}
+
+// AllocFrameAt allocates the specific frame containing pa if it is free,
+// tagging it with kind and owner. It reports whether the frame was
+// available. Best-effort contiguity allocators use it to extend a previous
+// allocation physically.
+func (m *Memory) AllocFrameAt(pa arch.PhysAddr, kind FrameKind, owner int) bool {
+	frame := pa.FrameNumber()
+	if frame >= m.alloc.NumFrames() {
+		return false
+	}
+	if !m.alloc.AllocAt(frame) {
+		return false
+	}
+	m.tag(frame, 1, kind, owner)
+	return true
+}
+
+// AllocGroup allocates a naturally aligned contiguous group of `pages`
+// frames (a power of two) and immediately splits it so each frame can be
+// freed individually — the allocation pattern of a PTEMagnet reservation.
+// It returns the address of the first frame.
+func (m *Memory) AllocGroup(pages int, kind FrameKind, owner int) (arch.PhysAddr, bool) {
+	if pages <= 0 || !arch.IsPowerOfTwo(uint64(pages)) {
+		panic(fmt.Sprintf("physmem: group of %d pages is not a power of two", pages))
+	}
+	order := 0
+	for 1<<order < pages {
+		order++
+	}
+	frame, ok := m.alloc.AllocOrder(order)
+	if !ok {
+		return arch.NoPhysAddr, false
+	}
+	if order > 0 {
+		m.alloc.Split(frame)
+	}
+	m.tag(frame, uint64(pages), kind, owner)
+	return arch.FrameToPhys(frame), true
+}
+
+// FreeBlock returns the block starting at pa (previously returned by
+// AllocFrame or AllocOrder) to the allocator.
+func (m *Memory) FreeBlock(pa arch.PhysAddr) {
+	frame := pa.FrameNumber()
+	order := m.alloc.BlockOrder(frame)
+	m.alloc.Free(frame)
+	m.tag(frame, uint64(1)<<order, KindFree, NoOwner)
+}
+
+// Kind returns the kind of the frame containing pa.
+func (m *Memory) Kind(pa arch.PhysAddr) FrameKind {
+	return m.kind[m.checkFrame(pa)]
+}
+
+// Owner returns the owning process of the frame containing pa, or NoOwner.
+func (m *Memory) Owner(pa arch.PhysAddr) int {
+	return int(m.owner[m.checkFrame(pa)])
+}
+
+// SetKind retags the single frame containing pa. The kernels use it when a
+// reserved frame is finally mapped to the application (reserved → user) and
+// when reservations are torn down.
+func (m *Memory) SetKind(pa arch.PhysAddr, kind FrameKind, owner int) {
+	f := m.checkFrame(pa)
+	m.kind[f] = kind
+	m.owner[f] = int32(owner)
+}
+
+// CountKind returns how many frames currently carry the given kind.
+func (m *Memory) CountKind(kind FrameKind) uint64 {
+	var n uint64
+	for _, k := range m.kind {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountOwned returns how many frames of the given kind belong to owner.
+func (m *Memory) CountOwned(kind FrameKind, owner int) uint64 {
+	var n uint64
+	for i, k := range m.kind {
+		if k == kind && m.owner[i] == int32(owner) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Memory) tag(frame, count uint64, kind FrameKind, owner int) {
+	for i := uint64(0); i < count; i++ {
+		m.kind[frame+i] = kind
+		m.owner[frame+i] = int32(owner)
+	}
+}
+
+func (m *Memory) checkFrame(pa arch.PhysAddr) uint64 {
+	f := pa.FrameNumber()
+	if f >= m.alloc.NumFrames() {
+		panic(fmt.Sprintf("physmem: address %#x beyond memory of %d frames", uint64(pa), m.alloc.NumFrames()))
+	}
+	return f
+}

@@ -1,0 +1,238 @@
+// Package tlb models translation-lookaside buffers.
+//
+// Under virtualization the TLB caches complete guest-virtual to
+// host-physical translations, so a TLB hit skips the entire nested page walk
+// and a miss triggers the full 2D walk (paper §2.5). Entries are tagged with
+// an address-space identifier (ASID) so colocated processes coexist without
+// flushes, matching modern x86 PCID behaviour.
+//
+// The package provides a single set-associative level and a TwoLevel
+// combination (L1 DTLB backed by a larger, slower L2 STLB) mirroring the
+// structure of the Broadwell parts used in the paper's evaluation.
+package tlb
+
+import (
+	"fmt"
+
+	"ptemagnet/internal/arch"
+)
+
+// Entry is a cached translation: virtual page number to physical frame
+// address of the page base.
+type Entry struct {
+	ASID uint32
+	VPN  uint64
+	PA   arch.PhysAddr
+}
+
+// Config sizes one TLB level.
+type Config struct {
+	// Entries is the total entry count; must be a power-of-two multiple
+	// of Ways.
+	Entries int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// TLB is one set-associative translation cache with LRU replacement.
+type TLB struct {
+	setMask uint64
+	ways    int
+	valid   []bool
+	entries []Entry
+	age     []uint64
+	tick    uint64
+
+	lookups uint64
+	hits    uint64
+}
+
+// New builds a TLB level from cfg.
+func New(cfg Config) *TLB {
+	if cfg.Ways <= 0 || cfg.Entries <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: bad config %+v", cfg))
+	}
+	sets := uint64(cfg.Entries / cfg.Ways)
+	if !arch.IsPowerOfTwo(sets) {
+		panic(fmt.Sprintf("tlb: set count %d not a power of two", sets))
+	}
+	return &TLB{
+		setMask: sets - 1,
+		ways:    cfg.Ways,
+		valid:   make([]bool, cfg.Entries),
+		entries: make([]Entry, cfg.Entries),
+		age:     make([]uint64, cfg.Entries),
+	}
+}
+
+// Lookup probes for (asid, vpn) and refreshes LRU on hit.
+func (t *TLB) Lookup(asid uint32, vpn uint64) (arch.PhysAddr, bool) {
+	t.lookups++
+	t.tick++
+	base := int(vpn&t.setMask) * t.ways
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.entries[i].VPN == vpn && t.entries[i].ASID == asid {
+			t.age[i] = t.tick
+			t.hits++
+			return t.entries[i].PA, true
+		}
+	}
+	return arch.NoPhysAddr, false
+}
+
+// Insert fills (asid, vpn) → pa, evicting the LRU way of the set if full.
+// The evicted entry is returned so a two-level arrangement can install
+// victims in the next level.
+func (t *TLB) Insert(asid uint32, vpn uint64, pa arch.PhysAddr) (victim Entry, evicted bool) {
+	t.tick++
+	base := int(vpn&t.setMask) * t.ways
+	target := base
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.entries[i].VPN == vpn && t.entries[i].ASID == asid {
+			// Refresh an existing entry in place.
+			t.entries[i].PA = pa
+			t.age[i] = t.tick
+			return Entry{}, false
+		}
+		if !t.valid[i] {
+			target = i
+			break
+		}
+		if t.age[i] < t.age[target] {
+			target = i
+		}
+	}
+	if t.valid[target] {
+		victim, evicted = t.entries[target], true
+	}
+	t.valid[target] = true
+	t.entries[target] = Entry{ASID: asid, VPN: vpn, PA: pa}
+	t.age[target] = t.tick
+	return victim, evicted
+}
+
+// InvalidatePage drops the translation for (asid, vpn) if present.
+func (t *TLB) InvalidatePage(asid uint32, vpn uint64) {
+	base := int(vpn&t.setMask) * t.ways
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.entries[i].VPN == vpn && t.entries[i].ASID == asid {
+			t.valid[i] = false
+			return
+		}
+	}
+}
+
+// InvalidateASID drops every translation belonging to asid.
+func (t *TLB) InvalidateASID(asid uint32) {
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i].ASID == asid {
+			t.valid[i] = false
+		}
+	}
+}
+
+// Flush drops every translation.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// Lookups returns the number of probes performed.
+func (t *TLB) Lookups() uint64 { return t.lookups }
+
+// Hits returns the number of successful probes.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// TwoLevelConfig sizes a two-level TLB.
+type TwoLevelConfig struct {
+	L1 Config
+	L2 Config
+}
+
+// DefaultConfig returns a Broadwell-like two-level TLB: 64-entry 4-way L1
+// DTLB and a 1024-entry 8-way STLB.
+func DefaultConfig() TwoLevelConfig {
+	return TwoLevelConfig{
+		L1: Config{Entries: 64, Ways: 4},
+		L2: Config{Entries: 1024, Ways: 8},
+	}
+}
+
+// TwoLevel is an L1 DTLB backed by an L2 STLB. L1 victims are installed in
+// L2 (exclusive-ish victim behaviour); L2 hits are promoted back to L1.
+type TwoLevel struct {
+	l1, l2 *TLB
+
+	lookups uint64
+	l1Hits  uint64
+	l2Hits  uint64
+}
+
+// NewTwoLevel builds the two-level arrangement.
+func NewTwoLevel(cfg TwoLevelConfig) *TwoLevel {
+	return &TwoLevel{l1: New(cfg.L1), l2: New(cfg.L2)}
+}
+
+// Lookup probes L1 then L2, promoting an L2 hit into L1.
+func (t *TwoLevel) Lookup(asid uint32, vpn uint64) (arch.PhysAddr, bool) {
+	t.lookups++
+	if pa, ok := t.l1.Lookup(asid, vpn); ok {
+		t.l1Hits++
+		return pa, true
+	}
+	if pa, ok := t.l2.Lookup(asid, vpn); ok {
+		t.l2Hits++
+		t.promote(asid, vpn, pa)
+		return pa, true
+	}
+	return arch.NoPhysAddr, false
+}
+
+// Insert installs a freshly walked translation into L1, pushing any L1
+// victim down into L2.
+func (t *TwoLevel) Insert(asid uint32, vpn uint64, pa arch.PhysAddr) {
+	t.promote(asid, vpn, pa)
+}
+
+func (t *TwoLevel) promote(asid uint32, vpn uint64, pa arch.PhysAddr) {
+	if victim, evicted := t.l1.Insert(asid, vpn, pa); evicted {
+		t.l2.Insert(victim.ASID, victim.VPN, victim.PA)
+	}
+}
+
+// InvalidatePage drops (asid, vpn) from both levels.
+func (t *TwoLevel) InvalidatePage(asid uint32, vpn uint64) {
+	t.l1.InvalidatePage(asid, vpn)
+	t.l2.InvalidatePage(asid, vpn)
+}
+
+// InvalidateASID drops all translations of asid from both levels.
+func (t *TwoLevel) InvalidateASID(asid uint32) {
+	t.l1.InvalidateASID(asid)
+	t.l2.InvalidateASID(asid)
+}
+
+// Flush empties both levels.
+func (t *TwoLevel) Flush() {
+	t.l1.Flush()
+	t.l2.Flush()
+}
+
+// Lookups returns the number of top-level probes.
+func (t *TwoLevel) Lookups() uint64 { return t.lookups }
+
+// Misses returns the number of probes that missed both levels — each miss
+// costs a full nested page walk.
+func (t *TwoLevel) Misses() uint64 { return t.lookups - t.l1Hits - t.l2Hits }
+
+// MissRatio returns Misses/Lookups, or 0 before any lookup.
+func (t *TwoLevel) MissRatio() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.Misses()) / float64(t.lookups)
+}

@@ -1,0 +1,562 @@
+// Package vm assembles the full simulated stack of the paper's evaluation
+// platform (§5): a host machine with a cache hierarchy, one QEMU/KVM-style
+// virtual machine, a guest kernel with a selectable allocator policy, and a
+// set of colocated workloads pinned to vCPUs.
+//
+// The machine interleaves the workloads' memory accesses round-robin in
+// small quanta — the asynchronous page-fault interleaving that fragments
+// the guest buddy allocator under colocation (§2.4). Every access runs the
+// hardware pipeline: main TLB, nested 2D page walk through the simulated
+// caches, guest page faults into the kernel, host faults into the
+// hypervisor. Cycle accounting splits into work, data-access, translation,
+// and fault-handling components so the paper's per-metric deltas can be
+// reported.
+package vm
+
+import (
+	"fmt"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/cache"
+	"ptemagnet/internal/core"
+	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/hostos"
+	"ptemagnet/internal/metrics"
+	"ptemagnet/internal/nested"
+	"ptemagnet/internal/workload"
+)
+
+// CostModel prices the kernel-software events the cache simulator cannot
+// time. Values are cycles. The defaults follow the shape of Linux fault
+// costs: the trap + mapping overhead and the page-zeroing memset dominate;
+// the allocator call itself is small — which is why the paper's §6.4
+// microbenchmark sees PTEMagnet's fewer buddy calls as only a slight win.
+type CostModel struct {
+	// WorkCyclesPerAccess is the non-memory compute per access.
+	WorkCyclesPerAccess uint64
+	// TrapCycles is the base cost of any page fault (trap, VMA lookup,
+	// return).
+	TrapCycles uint64
+	// ZeroPageCycles clears a freshly mapped anonymous page (per page,
+	// identical in both policies).
+	ZeroPageCycles uint64
+	// BuddyPageCycles is one order-0 buddy allocator call.
+	BuddyPageCycles uint64
+	// BuddyGroupCycles is one order-3 (eight-page) buddy call plus PaRT
+	// insertion.
+	BuddyGroupCycles uint64
+	// PaRTHitCycles is a PaRT lookup serving a fault from a reservation.
+	PaRTHitCycles uint64
+	// COWCopyCycles copies a page on a COW break.
+	COWCopyCycles uint64
+}
+
+// DefaultCostModel returns the calibrated defaults.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WorkCyclesPerAccess: 7,
+		TrapCycles:          1000,
+		ZeroPageCycles:      1200,
+		BuddyPageCycles:     120,
+		BuddyGroupCycles:    180,
+		PaRTHitCycles:       60,
+		COWCopyCycles:       2400,
+	}
+}
+
+// faultCost prices a resolved fault by kind.
+func (c CostModel) faultCost(kind guestos.FaultKind) uint64 {
+	switch kind {
+	case guestos.FaultAlreadyMapped:
+		return c.TrapCycles / 2
+	case guestos.FaultDefault:
+		return c.TrapCycles + c.BuddyPageCycles + c.ZeroPageCycles
+	case guestos.FaultMagnetNew:
+		return c.TrapCycles + c.BuddyGroupCycles + c.ZeroPageCycles
+	case guestos.FaultMagnetHit:
+		return c.TrapCycles + c.PaRTHitCycles + c.ZeroPageCycles
+	case guestos.FaultParentClaim:
+		return c.TrapCycles + c.PaRTHitCycles + c.ZeroPageCycles
+	case guestos.FaultCOW:
+		return c.TrapCycles + c.BuddyPageCycles + c.COWCopyCycles
+	case guestos.FaultCAHit:
+		// A targeted AllocAt costs about as much as a stock buddy call.
+		return c.TrapCycles + c.BuddyPageCycles + c.ZeroPageCycles
+	case guestos.FaultTHP:
+		// One trap and one order-9 buddy call, but the whole 2MB must be
+		// zeroed up front.
+		return c.TrapCycles + c.BuddyGroupCycles + 512*c.ZeroPageCycles
+	default:
+		return c.TrapCycles
+	}
+}
+
+// Config describes the simulated platform.
+type Config struct {
+	// HostMemBytes / GuestMemBytes size the two physical memories
+	// (default 512MB / 256MB — the paper's 128GB/64GB at 1/256 scale).
+	HostMemBytes  uint64
+	GuestMemBytes uint64
+	// NumCPUs is the vCPU count; workloads are pinned round-robin.
+	NumCPUs int
+	// Cache overrides the hierarchy (zero value → cache.DefaultConfig).
+	Cache cache.Config
+	// Walker overrides translation machinery (zero → nested.DefaultConfig).
+	Walker nested.Config
+	// Policy selects the guest allocator; Magnet configures PTEMagnet.
+	Policy guestos.AllocPolicy
+	Magnet core.Config
+	// EnableThresholdBytes gates PTEMagnet per process (§4.4).
+	EnableThresholdBytes uint64
+	// ReclaimWatermark forwards to the guest kernel (§4.3).
+	ReclaimWatermark float64
+	// Costs prices kernel events (zero → DefaultCostModel).
+	Costs CostModel
+	// Quantum is the number of accesses one task executes per scheduling
+	// turn (small → aggressive fault interleaving). Zero → 8.
+	Quantum int
+	// PTLevels selects the page-table depth for both the guest and the
+	// host dimension: 4 (default) or 5 (LA57 + 5-level EPT, §2.5).
+	PTLevels int
+	// Seed drives kernel randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the scaled-down mirror of the paper's Table 2
+// platform.
+func DefaultConfig() Config {
+	return Config{
+		HostMemBytes:  512 << 20,
+		GuestMemBytes: 256 << 20,
+		NumCPUs:       8,
+		Policy:        guestos.PolicyDefault,
+	}
+}
+
+// Role classifies tasks: primaries are measured; co-runners only generate
+// allocator pressure and stop when the primaries finish.
+type Role uint8
+
+const (
+	// RolePrimary marks a measured benchmark.
+	RolePrimary Role = iota
+	// RoleCorunner marks a background co-runner.
+	RoleCorunner
+)
+
+// TaskSpec declares one workload to run.
+type TaskSpec struct {
+	Prog workload.Program
+	Role Role
+}
+
+// Task is a scheduled workload bound to a guest process and vCPU.
+type Task struct {
+	spec  TaskSpec
+	proc  *guestos.Process
+	cpu   int
+	index int
+	done  bool
+
+	// Cycle accounting, split by component.
+	Cycles            uint64
+	WorkCycles        uint64
+	DataCycles        uint64
+	TranslationCycles uint64
+	FaultCycles       uint64
+	Accesses          uint64
+	DataServed        [cache.NumLevels]uint64
+
+	// initSnapshot captures the counters at the task's init boundary.
+	initSnapshot taskCounters
+	initSeen     bool
+}
+
+type taskCounters struct {
+	cycles, work, data, translation, fault, accesses uint64
+	dataServed                                       [cache.NumLevels]uint64
+}
+
+func (t *Task) counters() taskCounters {
+	return taskCounters{
+		cycles: t.Cycles, work: t.WorkCycles, data: t.DataCycles,
+		translation: t.TranslationCycles, fault: t.FaultCycles,
+		accesses: t.Accesses, dataServed: t.DataServed,
+	}
+}
+
+// Name returns the underlying program name.
+func (t *Task) Name() string { return t.spec.Prog.Name() }
+
+// Process returns the guest process executing the task.
+func (t *Task) Process() *guestos.Process { return t.proc }
+
+// env adapts a guest process to the workload.Env interface, wiring TLB
+// shootdowns into frees.
+type env struct {
+	m    *Machine
+	proc *guestos.Process
+}
+
+func (e env) Mmap(bytes uint64) (arch.VirtAddr, error) { return e.proc.Mmap(bytes) }
+
+func (e env) Free(va arch.VirtAddr, bytes uint64) error {
+	if err := e.proc.Free(va, bytes); err != nil {
+		return err
+	}
+	start := va.PageBase()
+	end := arch.VirtAddr(arch.AlignUp(uint64(va)+bytes, arch.PageSize))
+	for page := start; page < end; page += arch.PageSize {
+		e.m.walker.InvalidatePage(e.proc.ASID(), page)
+	}
+	return nil
+}
+
+// Tracer receives the machine's event stream (see internal/trace for a
+// binary recorder). Methods are called synchronously on the simulation
+// thread; implementations should be cheap.
+type Tracer interface {
+	// Access reports one executed memory access.
+	Access(task int, va arch.VirtAddr, write, tlbHit bool, translationCycles, dataCycles uint64, served uint8, seq uint64)
+	// Fault reports one resolved guest page fault.
+	Fault(task int, va arch.VirtAddr, kind uint8, seq uint64)
+}
+
+// Machine is the assembled platform.
+type Machine struct {
+	cfg    Config
+	host   *hostos.Kernel
+	hostVM *hostos.VM
+	guest  *guestos.Kernel
+	hier   *cache.Hierarchy
+	walker *nested.Walker
+	tasks  []*Task
+
+	totalAccesses uint64
+	unusedSeries  metrics.Series
+	tracer        Tracer
+
+	// Steady-window snapshots, taken when every primary reaches its init
+	// boundary (the §3.3 measurement start).
+	steadySnapTaken bool
+	walkAtInit      nested.Stats
+	hierAtInit      [cache.NumLevels]uint64
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.HostMemBytes == 0 || cfg.GuestMemBytes == 0 {
+		return nil, fmt.Errorf("vm: memory sizes must be set")
+	}
+	if cfg.NumCPUs <= 0 {
+		cfg.NumCPUs = 8
+	}
+	if cfg.Cache.NumCPUs == 0 {
+		cfg.Cache = cache.DefaultConfig(cfg.NumCPUs)
+	}
+	if cfg.Walker.TLB.L1.Entries == 0 {
+		cfg.Walker = nested.DefaultConfig()
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCostModel()
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 8
+	}
+	if cfg.PTLevels == 0 {
+		cfg.PTLevels = 4
+	}
+	host := hostos.NewKernel(cfg.HostMemBytes)
+	hostVM, err := host.CreateVMWithLevels(cfg.GuestMemBytes, cfg.PTLevels)
+	if err != nil {
+		return nil, err
+	}
+	guest := guestos.NewKernel(guestos.Config{
+		MemBytes:             cfg.GuestMemBytes,
+		Policy:               cfg.Policy,
+		Magnet:               cfg.Magnet,
+		EnableThresholdBytes: cfg.EnableThresholdBytes,
+		ReclaimWatermark:     cfg.ReclaimWatermark,
+		Seed:                 cfg.Seed,
+		PTLevels:             cfg.PTLevels,
+	})
+	hier := cache.NewHierarchy(cfg.Cache)
+	return &Machine{
+		cfg:    cfg,
+		host:   host,
+		hostVM: hostVM,
+		guest:  guest,
+		hier:   hier,
+		walker: nested.New(cfg.Walker, hier, hostVM),
+	}, nil
+}
+
+// Guest exposes the guest kernel.
+func (m *Machine) Guest() *guestos.Kernel { return m.guest }
+
+// HostVM exposes the VM as the host sees it.
+func (m *Machine) HostVM() *hostos.VM { return m.hostVM }
+
+// Hierarchy exposes the cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Walker exposes the nested walker.
+func (m *Machine) Walker() *nested.Walker { return m.walker }
+
+// UnusedSeries returns the sampled §6.2 gauge.
+func (m *Machine) UnusedSeries() *metrics.Series { return &m.unusedSeries }
+
+// SetTracer installs an event-stream recorder for subsequent Run calls
+// (nil disables tracing).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// AddTask spawns a guest process for prog and schedules it. Tasks are
+// pinned to vCPUs round-robin in creation order, like the paper pinning
+// application and co-runner threads to distinct cores.
+func (m *Machine) AddTask(prog workload.Program, role Role) (*Task, error) {
+	proc, err := m.guest.Spawn(prog.Name(), prog.FootprintBytes())
+	if err != nil {
+		return nil, err
+	}
+	t := &Task{
+		spec:  TaskSpec{Prog: prog, Role: role},
+		proc:  proc,
+		cpu:   len(m.tasks) % m.cfg.NumCPUs,
+		index: len(m.tasks),
+	}
+	if err := prog.Setup(env{m: m, proc: proc}); err != nil {
+		return nil, err
+	}
+	m.tasks = append(m.tasks, t)
+	return t, nil
+}
+
+// Tasks returns all scheduled tasks.
+func (m *Machine) Tasks() []*Task { return m.tasks }
+
+// RunOptions control a Run.
+type RunOptions struct {
+	// StopCorunnersAtPrimaryInit kills co-runner tasks the moment every
+	// primary finishes initialization — the §3.3 Table 1 methodology
+	// (fragmentation is left behind; LLC contention is removed).
+	StopCorunnersAtPrimaryInit bool
+	// SampleEvery samples the unused-reserved-pages gauge (§6.2) every N
+	// total accesses. Zero disables sampling.
+	SampleEvery uint64
+	// MaxAccesses aborts a runaway run (safety net). Zero → no limit.
+	MaxAccesses uint64
+}
+
+// Run interleaves all tasks until every primary finishes. Co-runners are
+// stopped at the end (or at the primary-init boundary per options). It
+// returns an error only for simulation bugs (workload accessing unmapped
+// regions, guest OOM).
+func (m *Machine) Run(opts RunOptions) error {
+	primariesLeft := 0
+	for _, t := range m.tasks {
+		if t.spec.Role == RolePrimary {
+			primariesLeft++
+		}
+	}
+	if primariesLeft == 0 {
+		return fmt.Errorf("vm: no primary task")
+	}
+	corunnersActive := true
+	var nextSample uint64
+	for primariesLeft > 0 {
+		progressed := false
+		for _, t := range m.tasks {
+			if t.done {
+				continue
+			}
+			if t.spec.Role == RoleCorunner && !corunnersActive {
+				continue
+			}
+			for q := 0; q < m.cfg.Quantum; q++ {
+				finished, err := m.step(t)
+				if err != nil {
+					return err
+				}
+				if finished {
+					t.done = true
+					if t.spec.Role == RolePrimary {
+						primariesLeft--
+					}
+					break
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return fmt.Errorf("vm: scheduler stalled with %d primaries left", primariesLeft)
+		}
+		if !m.steadySnapTaken && m.primariesInitDone() {
+			m.steadySnapTaken = true
+			m.walkAtInit = m.walker.Snapshot()
+			m.hierAtInit = m.hier.HitCounts()
+			if opts.StopCorunnersAtPrimaryInit {
+				corunnersActive = false
+			}
+		}
+		if opts.SampleEvery > 0 && m.totalAccesses >= nextSample {
+			m.unusedSeries.Record(m.totalAccesses, int64(m.guest.UnusedReservedPages()))
+			nextSample = m.totalAccesses + opts.SampleEvery
+		}
+		if opts.MaxAccesses > 0 && m.totalAccesses > opts.MaxAccesses {
+			return fmt.Errorf("vm: exceeded access budget %d", opts.MaxAccesses)
+		}
+	}
+	if opts.SampleEvery > 0 {
+		// Always close the series with the final state, so short runs
+		// still report their peak.
+		m.unusedSeries.Record(m.totalAccesses, int64(m.guest.UnusedReservedPages()))
+	}
+	return nil
+}
+
+func (m *Machine) primariesInitDone() bool {
+	for _, t := range m.tasks {
+		if t.spec.Role == RolePrimary && !t.done && !t.spec.Prog.InitDone() {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one access of t through the full pipeline.
+func (m *Machine) step(t *Task) (finished bool, err error) {
+	acc, done := t.spec.Prog.Step(env{m: m, proc: t.proc})
+	if done {
+		t.markInitBoundary()
+		return true, nil
+	}
+	m.totalAccesses++
+	t.Accesses++
+	t.WorkCycles += m.cfg.Costs.WorkCyclesPerAccess
+	t.Cycles += m.cfg.Costs.WorkCyclesPerAccess
+
+	var accTranslation, accData uint64
+	var accServed cache.Level
+	var accTLBHit bool
+	for attempt := 0; ; attempt++ {
+		out := m.walker.Translate(t.cpu, t.proc.ASID(), t.proc.PageTable(), acc.VA, acc.Write)
+		t.TranslationCycles += out.Cycles
+		t.Cycles += out.Cycles
+		accTranslation += out.Cycles
+		if out.Ok {
+			lv, lat := m.hier.Access(t.cpu, out.HPA)
+			t.DataCycles += lat
+			t.Cycles += lat
+			t.DataServed[lv]++
+			accData = lat
+			accServed = lv
+			accTLBHit = out.TLBHit
+			break
+		}
+		if !out.GuestFault {
+			return false, fmt.Errorf("vm: translation of %#x failed without fault", uint64(acc.VA))
+		}
+		if attempt >= 3 {
+			return false, fmt.Errorf("vm: fault loop at %#x (task %s)", uint64(acc.VA), t.Name())
+		}
+		kind, ferr := t.proc.HandlePageFault(acc.VA, acc.Write)
+		if ferr != nil {
+			return false, fmt.Errorf("vm: task %s: %w", t.Name(), ferr)
+		}
+		if m.tracer != nil {
+			m.tracer.Fault(t.index, acc.VA, uint8(kind), m.totalAccesses)
+		}
+		// COW remaps change the translation; drop any stale TLB entry.
+		if kind == guestos.FaultCOW {
+			m.walker.InvalidatePage(t.proc.ASID(), acc.VA)
+		}
+		cost := m.cfg.Costs.faultCost(kind)
+		t.FaultCycles += cost
+		t.Cycles += cost
+	}
+	if m.tracer != nil {
+		m.tracer.Access(t.index, acc.VA, acc.Write, accTLBHit,
+			accTranslation, accData, uint8(accServed), m.totalAccesses)
+	}
+	t.markInitBoundary()
+	return false, nil
+}
+
+func (t *Task) markInitBoundary() {
+	if !t.initSeen && t.spec.Prog.InitDone() {
+		t.initSeen = true
+		t.initSnapshot = t.counters()
+	}
+}
+
+// TaskReport is the measured slice of one primary task.
+type TaskReport struct {
+	Name string
+	// Whole-run totals.
+	Cycles, WorkCycles, DataCycles, TranslationCycles, FaultCycles uint64
+	Accesses                                                       uint64
+	DataServed                                                     [cache.NumLevels]uint64
+	// Steady-state totals (from the init boundary to the end) — the §3.3
+	// measurement window.
+	SteadyCycles, SteadyTranslationCycles, SteadyDataCycles uint64
+	SteadyAccesses                                          uint64
+	SteadyDataServed                                        [cache.NumLevels]uint64
+	// Frag is the host-PT fragmentation of the task's process at the end
+	// of the run.
+	Frag metrics.FragReport
+}
+
+// SteadyWalkStats returns the walker counters accumulated after the
+// primary-init boundary (the whole run if the boundary was never reached).
+func (m *Machine) SteadyWalkStats() nested.Stats {
+	if !m.steadySnapTaken {
+		return m.walker.Snapshot()
+	}
+	return m.walker.Snapshot().Delta(m.walkAtInit)
+}
+
+// SteadyCacheHits returns per-level cache hit counts after the primary-init
+// boundary.
+func (m *Machine) SteadyCacheHits() [cache.NumLevels]uint64 {
+	hits := m.hier.HitCounts()
+	if m.steadySnapTaken {
+		for i := range hits {
+			hits[i] -= m.hierAtInit[i]
+		}
+	}
+	return hits
+}
+
+// Report assembles the post-run measurements for every primary task.
+func (m *Machine) Report() []TaskReport {
+	var out []TaskReport
+	for _, t := range m.tasks {
+		if t.spec.Role != RolePrimary {
+			continue
+		}
+		r := TaskReport{
+			Name:              t.Name(),
+			Cycles:            t.Cycles,
+			WorkCycles:        t.WorkCycles,
+			DataCycles:        t.DataCycles,
+			TranslationCycles: t.TranslationCycles,
+			FaultCycles:       t.FaultCycles,
+			Accesses:          t.Accesses,
+			DataServed:        t.DataServed,
+			Frag:              metrics.HostPTFragmentation(t.proc.PageTable(), m.hostVM.PageTable()),
+		}
+		snap := t.initSnapshot
+		if !t.initSeen {
+			snap = t.counters() // never reached steady state
+		}
+		r.SteadyCycles = t.Cycles - snap.cycles
+		r.SteadyTranslationCycles = t.TranslationCycles - snap.translation
+		r.SteadyDataCycles = t.DataCycles - snap.data
+		r.SteadyAccesses = t.Accesses - snap.accesses
+		for i := range r.SteadyDataServed {
+			r.SteadyDataServed[i] = t.DataServed[i] - snap.dataServed[i]
+		}
+		out = append(out, r)
+	}
+	return out
+}

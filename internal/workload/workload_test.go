@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"testing"
+
+	"ptemagnet/internal/arch"
+)
+
+// fakeEnv is a trivial Env giving out bump-allocated regions.
+type fakeEnv struct {
+	next  arch.VirtAddr
+	mmaps int
+	frees int
+	freed uint64
+	spans []struct {
+		base  arch.VirtAddr
+		bytes uint64
+	}
+}
+
+func newFakeEnv() *fakeEnv { return &fakeEnv{next: 0x7f0000000000} }
+
+func (e *fakeEnv) Mmap(bytes uint64) (arch.VirtAddr, error) {
+	base := e.next
+	span := arch.VirtAddr(arch.AlignUp(bytes, arch.GroupBytes)) + arch.GroupBytes
+	e.next += span
+	e.mmaps++
+	e.spans = append(e.spans, struct {
+		base  arch.VirtAddr
+		bytes uint64
+	}{base, bytes})
+	return base, nil
+}
+
+func (e *fakeEnv) Free(va arch.VirtAddr, bytes uint64) error {
+	e.frees++
+	e.freed += bytes
+	return nil
+}
+
+func (e *fakeEnv) contains(va arch.VirtAddr) bool {
+	for _, s := range e.spans {
+		if va >= s.base && va < s.base+arch.VirtAddr(s.bytes) {
+			return true
+		}
+	}
+	return false
+}
+
+// drive runs a program for up to n steps, validating every access lands in
+// an allocated region, and returns the number of steps taken.
+func drive(t *testing.T, p Program, n int) int {
+	t.Helper()
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatalf("%s: setup: %v", p.Name(), err)
+	}
+	for i := 0; i < n; i++ {
+		acc, done := p.Step(env)
+		if done {
+			return i
+		}
+		if !env.contains(acc.VA) {
+			t.Fatalf("%s: step %d accessed %#x outside any region", p.Name(), i, uint64(acc.VA))
+		}
+	}
+	return n
+}
+
+func benchmarks(seed int64) []Program {
+	g := GraphConfig{DatasetBytes: 4 << 20, Accesses: 5000, Seed: seed}
+	s := SpecConfig{FootprintBytes: 4 << 20, Accesses: 5000, Seed: seed}
+	return []Program{
+		NewPagerank(g), NewCC(g), NewBFS(g), NewNibble(g),
+		NewMCF(s), NewGCC(s), NewOmnetpp(s), NewXZ(s),
+	}
+}
+
+func TestBenchmarksProduceValidBoundedStreams(t *testing.T) {
+	for _, p := range benchmarks(1) {
+		steps := drive(t, p, 100_000)
+		if steps >= 100_000 {
+			t.Errorf("%s did not terminate in 100k steps", p.Name())
+		}
+		if steps < 5000 {
+			t.Errorf("%s terminated after only %d steps", p.Name(), steps)
+		}
+		if !p.InitDone() {
+			t.Errorf("%s never reported init done", p.Name())
+		}
+		if p.FootprintBytes() == 0 {
+			t.Errorf("%s reports zero footprint", p.Name())
+		}
+	}
+}
+
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	for i := range benchmarks(7) {
+		a := benchmarks(7)[i]
+		b := benchmarks(7)[i]
+		envA, envB := newFakeEnv(), newFakeEnv()
+		if err := a.Setup(envA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Setup(envB); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 20_000; s++ {
+			accA, doneA := a.Step(envA)
+			accB, doneB := b.Step(envB)
+			if accA != accB || doneA != doneB {
+				t.Fatalf("%s diverges at step %d: %+v vs %+v", a.Name(), s, accA, accB)
+			}
+			if doneA {
+				break
+			}
+		}
+	}
+}
+
+func TestGraphInitTouchesWholeFootprint(t *testing.T) {
+	cfg := GraphConfig{DatasetBytes: 2 << 20, Accesses: 100, Seed: 1}
+	p := NewPagerank(cfg)
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	pages := map[arch.VirtAddr]bool{}
+	for !p.InitDone() {
+		acc, done := p.Step(env)
+		if done {
+			t.Fatal("finished before init done")
+		}
+		pages[acc.VA.PageBase()] = true
+	}
+	// The four regions sum to 12/12+6/12... = total; count mmapped pages.
+	var want uint64
+	for _, s := range env.spans {
+		want += arch.BytesToPages(s.bytes)
+	}
+	if uint64(len(pages)) < want {
+		t.Errorf("init touched %d pages, regions hold %d", len(pages), want)
+	}
+}
+
+func TestCorunnersRunForever(t *testing.T) {
+	cfg := CorunnerConfig{FootprintBytes: 2 << 20, Seed: 3}
+	progs := []Program{
+		NewObjdet(cfg), NewStressNG(cfg), NewChameleon(cfg),
+		NewPyaes(cfg), NewJSONSerdes(cfg), NewRNNServing(cfg),
+	}
+	for _, p := range progs {
+		env := newFakeEnv()
+		if err := p.Setup(env); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for i := 0; i < 50_000; i++ {
+			acc, done := p.Step(env)
+			if done {
+				t.Fatalf("%s finished at step %d; co-runners must run forever", p.Name(), i)
+			}
+			if !env.contains(acc.VA) {
+				t.Fatalf("%s accessed %#x outside regions", p.Name(), uint64(acc.VA))
+			}
+		}
+	}
+}
+
+func TestObjdetChurnsMemory(t *testing.T) {
+	p := NewObjdet(CorunnerConfig{FootprintBytes: 2 << 20, Seed: 1})
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30_000; i++ {
+		if _, done := p.Step(env); done {
+			t.Fatal("objdet finished")
+		}
+	}
+	if env.frees < 2 {
+		t.Errorf("objdet freed %d times in 30k steps; expected continuous arena churn", env.frees)
+	}
+}
+
+func TestStressNGChurnsHard(t *testing.T) {
+	p := NewStressNG(CorunnerConfig{FootprintBytes: 1 << 20, Seed: 1})
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if env.mmaps != 12 {
+		t.Errorf("stress-ng created %d slabs, want 12 workers", env.mmaps)
+	}
+	for i := 0; i < 20_000; i++ {
+		p.Step(env)
+	}
+	if env.frees < 12 {
+		t.Errorf("stress-ng freed %d slabs in 20k steps", env.frees)
+	}
+}
+
+func TestAllocMicroTouchesEveryPageOnce(t *testing.T) {
+	p := NewAllocMicro(1 << 20)
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[arch.VirtAddr]int{}
+	for {
+		acc, done := p.Step(env)
+		if done {
+			break
+		}
+		seen[acc.VA.PageBase()]++
+	}
+	if len(seen) != 256 {
+		t.Errorf("touched %d pages, want 256", len(seen))
+	}
+	for va, n := range seen {
+		if n != 1 {
+			t.Errorf("page %#x touched %d times", uint64(va), n)
+		}
+	}
+	if !p.InitDone() {
+		t.Error("allocmicro init not done at finish")
+	}
+}
+
+func TestSparseTouchesEveryEighthPage(t *testing.T) {
+	p := NewSparse(1 << 20) // 32 groups
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	pages := map[arch.VirtAddr]bool{}
+	for {
+		acc, done := p.Step(env)
+		if done {
+			break
+		}
+		if acc.VA.GroupIndex() != 0 {
+			t.Fatalf("sparse touched page %d of a group", acc.VA.GroupIndex())
+		}
+		pages[acc.VA.PageBase()] = true
+	}
+	if len(pages) != 32 {
+		t.Errorf("sparse touched %d distinct pages, want 32 (one per group)", len(pages))
+	}
+}
+
+func TestXZHasGroupLocality(t *testing.T) {
+	// Consecutive accesses frequently land in the same or adjacent pages
+	// (match copying) — the behaviour that earns xz the paper's best
+	// speedup.
+	p := NewXZ(SpecConfig{FootprintBytes: 4 << 20, Accesses: 20_000, Seed: 2})
+	env := newFakeEnv()
+	if err := p.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	// Skip init.
+	for !p.InitDone() {
+		p.Step(env)
+	}
+	var prev arch.VirtAddr
+	near, total := 0, 0
+	for i := 0; i < 10_000; i++ {
+		acc, done := p.Step(env)
+		if done {
+			break
+		}
+		if prev != 0 {
+			d := int64(acc.VA.PageNumber()) - int64(prev.PageNumber())
+			if d >= -1 && d <= 1 {
+				near++
+			}
+			total++
+		}
+		prev = acc.VA
+	}
+	if near < total/3 {
+		t.Errorf("xz: only %d/%d consecutive accesses are page-adjacent", near, total)
+	}
+}
+
+func TestNamesAndFootprints(t *testing.T) {
+	want := map[string]Program{
+		"pagerank":    NewPagerank(GraphConfig{}),
+		"cc":          NewCC(GraphConfig{}),
+		"bfs":         NewBFS(GraphConfig{}),
+		"nibble":      NewNibble(GraphConfig{}),
+		"mcf":         NewMCF(SpecConfig{}),
+		"gcc":         NewGCC(SpecConfig{}),
+		"omnetpp":     NewOmnetpp(SpecConfig{}),
+		"xz":          NewXZ(SpecConfig{}),
+		"objdet":      NewObjdet(CorunnerConfig{}),
+		"stress-ng":   NewStressNG(CorunnerConfig{}),
+		"chameleon":   NewChameleon(CorunnerConfig{}),
+		"pyaes":       NewPyaes(CorunnerConfig{}),
+		"json_serdes": NewJSONSerdes(CorunnerConfig{}),
+		"rnn_serving": NewRNNServing(CorunnerConfig{}),
+		"allocmicro":  NewAllocMicro(1 << 20),
+		"sparse":      NewSparse(1 << 20),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("Name() = %q, want %q", p.Name(), name)
+		}
+		if p.FootprintBytes() == 0 {
+			t.Errorf("%s: zero default footprint", name)
+		}
+		if p.InitDone() {
+			t.Errorf("%s: init done before setup", name)
+		}
+	}
+}
+
+func TestDefaultConfigsApplied(t *testing.T) {
+	// Zero-value configs pick up defaults (the paper-scale sizes).
+	if NewPagerank(GraphConfig{}).FootprintBytes() != 48<<20 {
+		t.Error("graph default footprint wrong")
+	}
+	if NewMCF(SpecConfig{}).FootprintBytes() != 40<<20 {
+		t.Error("mcf default footprint wrong")
+	}
+	if NewObjdet(CorunnerConfig{}).FootprintBytes() != 32<<20 {
+		t.Error("objdet default footprint wrong")
+	}
+}

@@ -1,0 +1,308 @@
+// Package ptemagnet is a complete, simulation-backed reproduction of
+// "PTEMagnet: Fine-Grained Physical Memory Reservation for Faster Page
+// Walks in Public Clouds" (Margaritov, Ustiugov, Shahab, Grot — ASPLOS
+// 2021, DOI 10.1145/3445814.3446704).
+//
+// The paper's contribution is a guest-kernel memory allocator that prevents
+// guest-physical fragmentation under VM colocation by eagerly reserving
+// aligned eight-page groups on the first page fault to each 32KB virtual
+// region, which packs the corresponding *host* page-table entries into
+// single cache blocks and shortens nested (2D) page walks.
+//
+// This library implements that allocator in full — the Page Reservation
+// Table (PaRT), the reservation/reclamation life cycle, fork semantics, and
+// the cgroup-style enable threshold — together with every substrate the
+// paper's evaluation depends on, built from scratch: a Linux-style buddy
+// allocator, guest and host kernels with demand paging, x86-64 four-level
+// page tables materialized in simulated physical memory, a nested page
+// walker with TLBs and page-walk caches, a cache hierarchy, and synthetic
+// stand-ins for the paper's benchmarks and co-runners.
+//
+// Three entry levels, lowest to highest:
+//
+//   - NewPaRT gives the bare reservation table, the paper's §4 data
+//     structure, usable against any frame allocator.
+//   - NewMachine assembles the full simulated platform (host + VM + guest
+//     kernel + caches + nested walker) for custom experiments.
+//   - RunScenario / the Run* experiment functions reproduce the paper's
+//     tables and figures (see EXPERIMENTS.md).
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory.
+package ptemagnet
+
+import (
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/cache"
+	"ptemagnet/internal/core"
+	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/metrics"
+	"ptemagnet/internal/nested"
+	"ptemagnet/internal/sim"
+	"ptemagnet/internal/trace"
+	"ptemagnet/internal/vm"
+	"ptemagnet/internal/workload"
+)
+
+// Dimension distinguishes the guest and host page tables of a nested walk.
+type Dimension = nested.Dimension
+
+// Walk dimensions.
+const (
+	// DimGuest is the guest page table.
+	DimGuest = nested.DimGuest
+	// DimHost is the host page table — the one PTEMagnet defragments.
+	DimHost = nested.DimHost
+)
+
+// Address and geometry types.
+type (
+	// VirtAddr is a guest-virtual address.
+	VirtAddr = arch.VirtAddr
+	// PhysAddr is a physical address (guest- or host-physical by context).
+	PhysAddr = arch.PhysAddr
+)
+
+// Geometry constants re-exported for callers of the low-level API.
+const (
+	// PageSize is the base page size (4KB).
+	PageSize = arch.PageSize
+	// GroupPages is the paper's reservation granularity: eight pages,
+	// whose leaf PTEs fill exactly one 64-byte cache block.
+	GroupPages = arch.GroupPages
+	// GroupBytes is the reservation span (32KB).
+	GroupBytes = arch.GroupBytes
+)
+
+// The paper's primary contribution: the Page Reservation Table.
+type (
+	// PaRT is the per-process Page Reservation Table (§4.2).
+	PaRT = core.PaRT
+	// PaRTConfig parameterizes group size and locking granularity.
+	PaRTConfig = core.Config
+	// Reservation is one live eight-page reservation.
+	Reservation = core.Reservation
+	// PaRTStats counts reservation life-cycle events.
+	PaRTStats = core.Stats
+	// FaultResult describes how a PaRT served a fault.
+	FaultResult = core.FaultResult
+)
+
+// PaRT fault outcomes.
+const (
+	// FaultNewReservation: a fresh group was reserved.
+	FaultNewReservation = core.FaultNewReservation
+	// FaultReservationHit: served from an existing reservation with no
+	// buddy-allocator call.
+	FaultReservationHit = core.FaultReservationHit
+	// FaultNoMemory: group allocation failed; fall back to single pages.
+	FaultNoMemory = core.FaultNoMemory
+)
+
+// NewPaRT creates an empty Page Reservation Table.
+func NewPaRT(cfg PaRTConfig) *PaRT { return core.New(cfg) }
+
+// DefaultPaRTConfig returns the paper's design point: 8-page groups,
+// fine-grained per-node locking.
+func DefaultPaRTConfig() PaRTConfig { return core.DefaultConfig() }
+
+// Guest kernel (the layer the paper patches).
+type (
+	// GuestKernel simulates the guest Linux VM subsystem.
+	GuestKernel = guestos.Kernel
+	// GuestConfig configures it, including the allocator policy.
+	GuestConfig = guestos.Config
+	// Process is one guest process.
+	Process = guestos.Process
+	// AllocPolicy selects the fault-time allocator.
+	AllocPolicy = guestos.AllocPolicy
+)
+
+// Allocator policies.
+const (
+	// PolicyDefault is the stock Linux page-at-a-time buddy path.
+	PolicyDefault = guestos.PolicyDefault
+	// PolicyPTEMagnet is the paper's reservation-based path.
+	PolicyPTEMagnet = guestos.PolicyPTEMagnet
+	// PolicyCAPaging is the best-effort contiguity baseline from the
+	// paper's related work, for comparison experiments.
+	PolicyCAPaging = guestos.PolicyCAPaging
+	// PolicyTHP is a transparent-huge-pages baseline (the §2.3 "big
+	// hammer" the paper argues clouds avoid), for comparison experiments.
+	PolicyTHP = guestos.PolicyTHP
+)
+
+// NewGuestKernel boots a guest kernel.
+func NewGuestKernel(cfg GuestConfig) *GuestKernel { return guestos.NewKernel(cfg) }
+
+// Full platform.
+type (
+	// Machine is the assembled host + VM + guest + caches + walker.
+	Machine = vm.Machine
+	// MachineConfig sizes the platform.
+	MachineConfig = vm.Config
+	// RunOptions controls a Machine.Run.
+	RunOptions = vm.RunOptions
+	// Task is one scheduled workload.
+	Task = vm.Task
+	// TaskReport is the per-benchmark measurement.
+	TaskReport = vm.TaskReport
+	// Tracer receives the machine's event stream (see NewTraceWriter).
+	Tracer = vm.Tracer
+	// Role distinguishes measured primaries from background co-runners.
+	Role = vm.Role
+)
+
+// Task roles.
+const (
+	// RolePrimary marks a measured benchmark.
+	RolePrimary = vm.RolePrimary
+	// RoleCorunner marks a background co-runner.
+	RoleCorunner = vm.RoleCorunner
+)
+
+// CacheConfig describes the simulated cache hierarchy.
+type CacheConfig = cache.Config
+
+// DefaultCacheConfig returns the Broadwell-like hierarchy used by default.
+func DefaultCacheConfig(numCPUs int) CacheConfig { return cache.DefaultConfig(numCPUs) }
+
+// NewMachine assembles a simulated platform.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return vm.New(cfg) }
+
+// DefaultMachineConfig mirrors the paper's Table 2 platform at 1/256 scale.
+func DefaultMachineConfig() MachineConfig { return vm.DefaultConfig() }
+
+// Workloads.
+type (
+	// Program is a deterministic access-stream generator. Implement it to
+	// run your own workload on the machine (see examples/kvstore).
+	Program = workload.Program
+	// Env is the system interface a Program sees (mmap/free).
+	Env = workload.Env
+	// Access is one memory reference emitted by a Program.
+	Access = workload.Access
+	// GraphConfig sizes the GPOP graph-kernel stand-ins.
+	GraphConfig = workload.GraphConfig
+	// SpecConfig sizes the SPEC'17 stand-ins.
+	SpecConfig = workload.SpecConfig
+	// CorunnerConfig sizes the co-runner stand-ins.
+	CorunnerConfig = workload.CorunnerConfig
+)
+
+// Workload constructors (the paper's Table 3).
+var (
+	NewPagerank   = workload.NewPagerank
+	NewCC         = workload.NewCC
+	NewBFS        = workload.NewBFS
+	NewNibble     = workload.NewNibble
+	NewMCF        = workload.NewMCF
+	NewGCC        = workload.NewGCC
+	NewOmnetpp    = workload.NewOmnetpp
+	NewXZ         = workload.NewXZ
+	NewObjdet     = workload.NewObjdet
+	NewStressNG   = workload.NewStressNG
+	NewChameleon  = workload.NewChameleon
+	NewPyaes      = workload.NewPyaes
+	NewJSONSerdes = workload.NewJSONSerdes
+	NewRNNServing = workload.NewRNNServing
+	NewAllocMicro = workload.NewAllocMicro
+	NewSparse     = workload.NewSparse
+)
+
+// Experiment harness.
+type (
+	// Scenario is one measured configuration (benchmark × co-runners ×
+	// policy).
+	Scenario = sim.Scenario
+	// ScenarioResult is everything measured in one run.
+	ScenarioResult = sim.Result
+	// Scale sets experiment sizing.
+	Scale = sim.Scale
+	// FragReport is the §3.2 host-PT fragmentation metric.
+	FragReport = metrics.FragReport
+)
+
+// Benchmark and co-runner names accepted by RunScenario.
+var (
+	// Benchmarks lists the paper's eight evaluated benchmarks.
+	Benchmarks = sim.Benchmarks
+	// Corunners lists the Table 3 co-runner combination.
+	Corunners = sim.Corunners
+)
+
+// RunScenario executes one scenario on a freshly assembled machine.
+func RunScenario(s Scenario) (ScenarioResult, error) { return sim.Run(s) }
+
+// RunScenarioPair runs a scenario under the default policy and under
+// PTEMagnet, returning (default, ptemagnet).
+func RunScenarioPair(s Scenario) (ScenarioResult, ScenarioResult, error) {
+	return sim.RunPair(s)
+}
+
+// DefaultScale returns the calibrated experiment sizing (1/256 of the
+// paper's 16GB-dataset setup); QuickScale a fast variant for smoke tests.
+func DefaultScale() Scale { return sim.DefaultScale() }
+
+// QuickScale returns a reduced sizing for fast runs.
+func QuickScale() Scale { return sim.QuickScale() }
+
+// Paper experiment entry points (see EXPERIMENTS.md for the mapping to
+// tables and figures).
+var (
+	// RunTable1 reproduces Table 1 (§3.3 fragmentation effects).
+	RunTable1 = sim.RunTable1
+	// RunObjdetSuite reproduces Figures 5 and 6 (§6.1, objdet co-runner).
+	RunObjdetSuite = sim.RunObjdetSuite
+	// RunCombinationSuite reproduces Figure 7 (§6.1, all co-runners).
+	RunCombinationSuite = sim.RunCombinationSuite
+	// RunTable4 reproduces Table 4 (§6.3 hardware metrics).
+	RunTable4 = sim.RunTable4
+	// RunSec62 reproduces the §6.2 reservation-waste study.
+	RunSec62 = sim.RunSec62
+	// RunSec64 reproduces the §6.4 allocation-latency microbenchmark.
+	RunSec64 = sim.RunSec64
+	// RunGranularity, RunLockingAblation, RunReclaimSweep and
+	// RunThresholdDemo cover the §4 design-choice ablations.
+	RunGranularity = sim.RunGranularity
+	// RunCAPagingComparison contrasts best-effort contiguity (CA paging,
+	// related work §7) with PTEMagnet's eager reservation.
+	RunCAPagingComparison = sim.RunCAPagingComparison
+	// RunTHPComparison contrasts transparent huge pages (§2.3) with
+	// PTEMagnet across colocation levels.
+	RunTHPComparison = sim.RunTHPComparison
+	// RunFiveLevelComparison measures PTEMagnet under the five-level
+	// paging migration the paper's §2.5 anticipates.
+	RunFiveLevelComparison = sim.RunFiveLevelComparison
+	// RunLowPressure verifies the §6.1 overhead-freedom claim on
+	// low-TLB-pressure applications.
+	RunLowPressure     = sim.RunLowPressure
+	RunLockingAblation = sim.RunLockingAblation
+	RunReclaimSweep    = sim.RunReclaimSweep
+	RunThresholdDemo   = sim.RunThresholdDemo
+)
+
+// Tracing: record a machine's event stream to a compact binary format and
+// analyze it offline.
+type (
+	// TraceWriter streams events; TraceReader iterates them.
+	TraceWriter = trace.Writer
+	TraceReader = trace.Reader
+	// TraceEvent is one record; TraceSummary an aggregate.
+	TraceEvent   = trace.Event
+	TraceSummary = trace.Summary
+	// TraceCollector adapts a TraceWriter to the Machine's Tracer.
+	TraceCollector = trace.Collector
+)
+
+// Trace constructors.
+var (
+	// NewTraceWriter starts a trace on an io.Writer.
+	NewTraceWriter = trace.NewWriter
+	// NewTraceReader opens a recorded trace.
+	NewTraceReader = trace.NewReader
+	// NewTraceCollector wraps a writer for Machine.SetTracer.
+	NewTraceCollector = trace.NewCollector
+	// SummarizeTrace aggregates a recorded trace.
+	SummarizeTrace = trace.Summarize
+)
