@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine's determinism contract and the simulator's per-scenario
+# isolation are the two properties the race detector guards; the heavy
+# simulation packages elsewhere are race-free by construction (no
+# goroutines) and would only slow this down.
+race:
+	$(GO) test -race ./internal/engine ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+experiments:
+	$(GO) run ./cmd/experiments -quick

@@ -10,6 +10,7 @@
 package ptemagnet_test
 
 import (
+	"context"
 	"testing"
 
 	"ptemagnet"
@@ -19,11 +20,18 @@ const benchSeed = 11
 
 func benchScale() ptemagnet.Scale { return ptemagnet.QuickScale() }
 
+// benchEngine runs each experiment's scenarios through a GOMAXPROCS-sized
+// worker pool; the engine's determinism contract keeps every reported
+// metric identical to a serial run.
+var benchEngine = ptemagnet.NewEngine(0)
+
+func benchCtx() context.Context { return context.Background() }
+
 // BenchmarkTable1_FragmentationEffects regenerates Table 1 (§3.3): pagerank
 // colocated with stress-ng versus standalone on the default kernel.
 func BenchmarkTable1_FragmentationEffects(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunTable1(benchScale(), benchSeed)
+		r, err := ptemagnet.RunTable1Ctx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +65,7 @@ func BenchmarkFig5_HostPTFragmentation(b *testing.B) {
 // full benchmark suite.
 func BenchmarkFig6_SpeedupWithObjdet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunObjdetSuite(benchScale(), benchSeed)
+		r, err := ptemagnet.RunObjdetSuiteCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +84,7 @@ func BenchmarkFig6_SpeedupWithObjdet(b *testing.B) {
 // improvement under the full Table 3 co-runner combination.
 func BenchmarkFig7_SpeedupWithCombination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunCombinationSuite(benchScale(), benchSeed)
+		r, err := ptemagnet.RunCombinationSuiteCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +96,7 @@ func BenchmarkFig7_SpeedupWithCombination(b *testing.B) {
 // objdet, PTEMagnet versus default, hardware-counter changes.
 func BenchmarkTable4_HardwareMetrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunTable4(benchScale(), benchSeed)
+		r, err := ptemagnet.RunTable4Ctx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +135,7 @@ func BenchmarkSec62_ReservationWaste(b *testing.B) {
 // touch every page of a huge array under both policies.
 func BenchmarkSec64_AllocationLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunSec64(benchScale(), benchSeed)
+		r, err := ptemagnet.RunSec64Ctx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +148,7 @@ func BenchmarkSec64_AllocationLatency(b *testing.B) {
 // design choice (8 pages = one cache block of PTEs).
 func BenchmarkAblation_Granularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunGranularity(benchScale(), benchSeed)
+		r, err := ptemagnet.RunGranularityCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +174,7 @@ func BenchmarkAblation_PaRTLocking(b *testing.B) {
 // BenchmarkAblation_ReclaimWatermark sweeps the §4.3 reclaim threshold.
 func BenchmarkAblation_ReclaimWatermark(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunReclaimSweep(benchScale(), benchSeed)
+		r, err := ptemagnet.RunReclaimSweepCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +187,7 @@ func BenchmarkAblation_ReclaimWatermark(b *testing.B) {
 // (related work §7) with PTEMagnet as colocation pressure rises.
 func BenchmarkBaseline_CAPaging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunCAPagingComparison(benchScale(), benchSeed)
+		r, err := ptemagnet.RunCAPagingComparisonCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +201,7 @@ func BenchmarkBaseline_CAPaging(b *testing.B) {
 // PTEMagnet across colocation levels.
 func BenchmarkBaseline_THP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunTHPComparison(benchScale(), benchSeed)
+		r, err := ptemagnet.RunTHPComparisonCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +214,7 @@ func BenchmarkBaseline_THP(b *testing.B) {
 // five-level paging (the §2.5 migration: nested walks grow to 35 accesses).
 func BenchmarkExtension_FiveLevelPaging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := ptemagnet.RunFiveLevelComparison(benchScale(), benchSeed)
+		r, err := ptemagnet.RunFiveLevelComparisonCtx(benchCtx(), benchEngine, benchScale(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,19 +4,30 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation] [-quick] [-seed N]
+//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation]
+//	            [-quick] [-seed N] [-parallel N] [-progress]
 //
 // fig5 and fig6 come from the same runs (the objdet suite) and print
 // together. With -quick the reduced test scale is used (seconds instead of
 // minutes); headline numbers in EXPERIMENTS.md come from the default scale.
+//
+// Scenarios within each experiment run through the engine's worker pool
+// (-parallel, default GOMAXPROCS); results are deterministic for any
+// worker count. A failing scenario does not abort the rest: partial
+// results print, the error is reported, and the process exits non-zero
+// at the end.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/sim"
 )
 
@@ -24,6 +35,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, table4, sec62, sec64, ablation")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
 	seed := flag.Int64("seed", 11, "simulation seed")
+	parallel := flag.Int("parallel", 0, "concurrent scenarios per experiment (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-scenario completion on stderr")
 	flag.Parse()
 
 	sc := sim.DefaultScale()
@@ -31,12 +44,38 @@ func main() {
 		sc = sim.QuickScale()
 	}
 
-	run := func(name string, f func() error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := engine.New(*parallel)
+	if *progress {
+		eng.OnEvent = func(ev engine.Event) {
+			status := "ok"
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s (%.1fs) %s\n",
+				ev.Done, ev.Total, ev.Set, ev.Scenario, ev.Elapsed.Seconds(), status)
+		}
+	}
+
+	failed := false
+	// run executes one experiment. The engine delivers partial results
+	// alongside the error, so a failure prints whatever completed, marks
+	// the process for a non-zero exit, and lets the remaining experiments
+	// proceed.
+	run := func(name string, f func() (fmt.Stringer, error)) {
 		t0 := time.Now()
 		fmt.Printf("==> %s\n", name)
-		if err := f(); err != nil {
+		r, err := f()
+		if r != nil {
+			fmt.Print(r.String())
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			fmt.Println()
+			return
 		}
 		fmt.Printf("    (%.1fs)\n\n", time.Since(t0).Seconds())
 	}
@@ -44,130 +83,89 @@ func main() {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("table1") {
-		run("Table 1 (§3.3)", func() error {
-			r, err := sim.RunTable1(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Table 1 (§3.3)", func() (fmt.Stringer, error) {
+			r, err := sim.RunTable1Ctx(ctx, eng, sc, *seed)
+			return r, err
 		})
 	}
 	if want("fig5") || want("fig6") {
-		run("Figures 5 and 6 (§6.1, objdet co-runner)", func() error {
-			r, err := sim.RunObjdetSuite(sc, *seed)
-			if err != nil {
-				return err
+		run("Figures 5 and 6 (§6.1, objdet co-runner)", func() (fmt.Stringer, error) {
+			r, err := sim.RunObjdetSuiteCtx(ctx, eng, sc, *seed)
+			if err == nil {
+				fmt.Print(r.String())
+				fmt.Println("  paper: fragmentation drops to ~1 for every benchmark (Fig 5);")
+				fmt.Println("  improvement 4% geomean, 9% max on xz, never negative (Fig 6)")
+				return nil, nil
 			}
-			fmt.Print(r.String())
-			fmt.Println("  paper: fragmentation drops to ~1 for every benchmark (Fig 5);")
-			fmt.Println("  improvement 4% geomean, 9% max on xz, never negative (Fig 6)")
-			return nil
+			return r, err
 		})
 	}
 	if want("fig7") {
-		run("Figure 7 (§6.1, combination of co-runners)", func() error {
-			r, err := sim.RunCombinationSuite(sc, *seed)
-			if err != nil {
-				return err
+		run("Figure 7 (§6.1, combination of co-runners)", func() (fmt.Stringer, error) {
+			r, err := sim.RunCombinationSuiteCtx(ctx, eng, sc, *seed)
+			if err == nil {
+				fmt.Print(r.String())
+				fmt.Println("  paper: 3% geomean, 5% max on mcf — about 1% below the objdet-only scenario")
+				return nil, nil
 			}
-			fmt.Print(r.String())
-			fmt.Println("  paper: 3% geomean, 5% max on mcf — about 1% below the objdet-only scenario")
-			return nil
+			return r, err
 		})
 	}
 	if want("fig6") {
-		run("Section 6.1: low-TLB-pressure applications", func() error {
-			r, err := sim.RunLowPressure(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Section 6.1: low-TLB-pressure applications", func() (fmt.Stringer, error) {
+			r, err := sim.RunLowPressureCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
 	}
 	if want("table4") {
-		run("Table 4 (§6.3)", func() error {
-			r, err := sim.RunTable4(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Table 4 (§6.3)", func() (fmt.Stringer, error) {
+			r, err := sim.RunTable4Ctx(ctx, eng, sc, *seed)
+			return r, err
 		})
 	}
 	if want("sec62") {
-		run("Section 6.2 (reservation waste)", func() error {
-			r, err := sim.RunSec62(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Section 6.2 (reservation waste)", func() (fmt.Stringer, error) {
+			r, err := sim.RunSec62Ctx(ctx, eng, sc, *seed)
+			return r, err
 		})
 	}
 	if want("sec64") {
-		run("Section 6.4 (allocation latency)", func() error {
-			r, err := sim.RunSec64(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Section 6.4 (allocation latency)", func() (fmt.Stringer, error) {
+			r, err := sim.RunSec64Ctx(ctx, eng, sc, *seed)
+			return r, err
 		})
 	}
 	if want("ablation") {
-		run("Ablation: reservation granularity", func() error {
-			r, err := sim.RunGranularity(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Ablation: reservation granularity", func() (fmt.Stringer, error) {
+			r, err := sim.RunGranularityCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
-		run("Ablation: PaRT locking", func() error {
-			fmt.Print(sim.RunLockingAblation(64, 20000).String())
-			return nil
+		run("Ablation: PaRT locking", func() (fmt.Stringer, error) {
+			return sim.RunLockingAblation(64, 20000), nil
 		})
-		run("Ablation: reclaim watermark", func() error {
-			r, err := sim.RunReclaimSweep(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Ablation: reclaim watermark", func() (fmt.Stringer, error) {
+			r, err := sim.RunReclaimSweepCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
-		run("Extension: five-level paging", func() error {
-			r, err := sim.RunFiveLevelComparison(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Extension: five-level paging", func() (fmt.Stringer, error) {
+			r, err := sim.RunFiveLevelComparisonCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
-		run("Baseline: transparent huge pages vs PTEMagnet", func() error {
-			r, err := sim.RunTHPComparison(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Baseline: transparent huge pages vs PTEMagnet", func() (fmt.Stringer, error) {
+			r, err := sim.RunTHPComparisonCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
-		run("Baseline: CA paging vs PTEMagnet", func() error {
-			r, err := sim.RunCAPagingComparison(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+		run("Baseline: CA paging vs PTEMagnet", func() (fmt.Stringer, error) {
+			r, err := sim.RunCAPagingComparisonCtx(ctx, eng, sc, *seed)
+			return r, err
 		})
-		run("Ablation: enable threshold", func() error {
+		run("Ablation: enable threshold", func() (fmt.Stringer, error) {
 			r, err := sim.RunThresholdDemo(sc, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.String())
-			return nil
+			return r, err
 		})
+	}
+
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/guestos"
@@ -62,7 +65,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := sim.Run(s)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := sim.RunCtx(ctx, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ptmsim: %v\n", err)
 		os.Exit(1)

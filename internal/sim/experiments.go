@@ -1,13 +1,38 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
 )
+
+// scenarioJob adapts one sim scenario to an engine scenario: the closure
+// captures the fully specified Scenario (including its seed) at set
+// declaration time, so the result depends only on the declaration, never
+// on execution order.
+func scenarioJob(name string, s Scenario) engine.Scenario[Result] {
+	return engine.Scenario[Result]{Name: name, Run: func(ctx context.Context) (Result, error) {
+		return RunCtx(ctx, s)
+	}}
+}
+
+// pairJobs declares the default-vs-PTEMagnet pair of s under
+// "<prefix>/default" and "<prefix>/ptemagnet".
+func pairJobs(prefix string, s Scenario) []engine.Scenario[Result] {
+	def := s
+	def.Policy = guestos.PolicyDefault
+	mag := s
+	mag.Policy = guestos.PolicyPTEMagnet
+	return []engine.Scenario[Result]{
+		scenarioJob(prefix+"/default", def),
+		scenarioJob(prefix+"/ptemagnet", mag),
+	}
+}
 
 // MetricRow is one line of a paper-versus-measured comparison table.
 type MetricRow struct {
@@ -51,38 +76,55 @@ type Table1Result struct {
 	Rows      []MetricRow
 }
 
+// Table1Set declares the Table 1 scenario set: isolation and colocation
+// runs reduced into the paper-versus-measured rows.
+func Table1Set(sc Scale, seed int64) engine.Set[Result, Table1Result] {
+	return engine.Set[Result, Table1Result]{
+		Name: "table1",
+		Scenarios: []engine.Scenario[Result]{
+			scenarioJob("isolation", Scenario{
+				Benchmark: "pagerank", Policy: guestos.PolicyDefault,
+				Scale: sc, Seed: seed,
+			}),
+			scenarioJob("colocated", Scenario{
+				Benchmark: "pagerank", Corunners: []string{"stress-ng"},
+				Policy: guestos.PolicyDefault, StopCorunnersAtInit: true,
+				Scale: sc, Seed: seed,
+			}),
+		},
+		Reduce: func(res engine.Results[Result]) (Table1Result, error) {
+			if err := res.FailedErr(); err != nil {
+				return Table1Result{}, err
+			}
+			iso, _ := res.Get("isolation")
+			col, _ := res.Get("colocated")
+			r := Table1Result{Isolation: iso, Colocated: col}
+			r.Rows = []MetricRow{
+				{"Execution time", "+11%", change(iso.Task.SteadyCycles, col.Task.SteadyCycles)},
+				{"Cache misses (data)", "<1%", change(dataMemServed(iso), dataMemServed(col))},
+				{"TLB misses", "<1%", change(iso.Walk.TLBMisses(), col.Walk.TLBMisses())},
+				{"Page walk cycles", "+61%", change(iso.Walk.WalkCycles, col.Walk.WalkCycles)},
+				{"Cycles traversing host PT", "+117%", change(iso.Walk.Cycles[nested.DimHost], col.Walk.Cycles[nested.DimHost])},
+				{"Guest PT accesses served by memory", "+3%", change(iso.Walk.MemServed(nested.DimGuest), col.Walk.MemServed(nested.DimGuest))},
+				{"Host PT accesses served by memory", "+283%", change(iso.Walk.MemServed(nested.DimHost), col.Walk.MemServed(nested.DimHost))},
+				{"Host PT fragmentation", "+242% (2.8→6.8)", fmt.Sprintf("%s (%.1f→%.1f)",
+					pct(metrics.PercentChange(iso.Task.Frag.Mean, col.Task.Frag.Mean)),
+					iso.Task.Frag.Mean, col.Task.Frag.Mean)},
+				{"Fully scattered 8-page regions", "63%", fmt.Sprintf("%.0f%%", col.Task.Frag.FullyScattered*100)},
+			}
+			return r, nil
+		},
+	}
+}
+
+// RunTable1Ctx reproduces Table 1 through the given engine.
+func RunTable1Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Table1Result, error) {
+	return engine.Execute(ctx, e, Table1Set(sc, seed))
+}
+
 // RunTable1 reproduces Table 1.
 func RunTable1(sc Scale, seed int64) (Table1Result, error) {
-	iso, err := Run(Scenario{
-		Benchmark: "pagerank", Policy: guestos.PolicyDefault,
-		Scale: sc, Seed: seed,
-	})
-	if err != nil {
-		return Table1Result{}, err
-	}
-	col, err := Run(Scenario{
-		Benchmark: "pagerank", Corunners: []string{"stress-ng"},
-		Policy: guestos.PolicyDefault, StopCorunnersAtInit: true,
-		Scale: sc, Seed: seed,
-	})
-	if err != nil {
-		return Table1Result{}, err
-	}
-	r := Table1Result{Isolation: iso, Colocated: col}
-	r.Rows = []MetricRow{
-		{"Execution time", "+11%", change(iso.Task.SteadyCycles, col.Task.SteadyCycles)},
-		{"Cache misses (data)", "<1%", change(dataMemServed(iso), dataMemServed(col))},
-		{"TLB misses", "<1%", change(iso.Walk.TLBMisses(), col.Walk.TLBMisses())},
-		{"Page walk cycles", "+61%", change(iso.Walk.WalkCycles, col.Walk.WalkCycles)},
-		{"Cycles traversing host PT", "+117%", change(iso.Walk.Cycles[nested.DimHost], col.Walk.Cycles[nested.DimHost])},
-		{"Guest PT accesses served by memory", "+3%", change(iso.Walk.MemServed(nested.DimGuest), col.Walk.MemServed(nested.DimGuest))},
-		{"Host PT accesses served by memory", "+283%", change(iso.Walk.MemServed(nested.DimHost), col.Walk.MemServed(nested.DimHost))},
-		{"Host PT fragmentation", "+242% (2.8→6.8)", fmt.Sprintf("%s (%.1f→%.1f)",
-			pct(metrics.PercentChange(iso.Task.Frag.Mean, col.Task.Frag.Mean)),
-			iso.Task.Frag.Mean, col.Task.Frag.Mean)},
-		{"Fully scattered 8-page regions", "63%", fmt.Sprintf("%.0f%%", col.Task.Frag.FullyScattered*100)},
-	}
-	return r, nil
+	return RunTable1Ctx(context.Background(), nil, sc, seed)
 }
 
 func dataMemServed(r Result) uint64 {
@@ -121,56 +163,121 @@ type SuiteResult struct {
 // (the simulator is deterministic per seed, so seeds replace jitter).
 const SuiteRepeats = 3
 
-// runSuite runs every benchmark under both policies with the given
-// co-runners (running throughout, as in §6.1), averaging cycles and
-// fragmentation over `repeats` seeds.
-func runSuite(benchmarks []string, corunners []string, sc Scale, seed int64, repeats int) (SuiteResult, error) {
+func suiteJobName(bench string, repeat int, policy guestos.AllocPolicy) string {
+	return fmt.Sprintf("%s/r%d/%v", bench, repeat, policy)
+}
+
+// SuiteSet declares a figure suite: every benchmark under both policies
+// with the given co-runners (running throughout, as in §6.1), repeats
+// seeds per pair, reduced into per-benchmark averages and the geomean.
+// The seed of repeat r is seed + r*1000, the harness's historical
+// formula. A benchmark whose runs failed is dropped from the entries and
+// surfaces through the returned error; the surviving entries are still
+// reduced (graceful degradation per scenario).
+func SuiteSet(benchmarks, corunners []string, sc Scale, seed int64, repeats int) engine.Set[Result, SuiteResult] {
 	if repeats < 1 {
 		repeats = 1
 	}
-	res := SuiteResult{Corunners: corunners}
-	var ratios []float64
+	// Snapshot the lists: sets must be immutable after declaration.
+	benchmarks = append([]string(nil), benchmarks...)
+	corunners = append([]string(nil), corunners...)
+	var jobs []engine.Scenario[Result]
 	for _, b := range benchmarks {
-		var defCycles, magCycles uint64
-		var defFrag, magFrag float64
 		for r := 0; r < repeats; r++ {
-			def, mag, err := RunPair(Scenario{
+			s := Scenario{
 				Benchmark: b, Corunners: corunners, Scale: sc,
 				Seed: seed + int64(r)*1000,
-			})
-			if err != nil {
-				return SuiteResult{}, fmt.Errorf("%s: %w", b, err)
 			}
-			defCycles += def.Task.SteadyCycles
-			magCycles += mag.Task.SteadyCycles
-			defFrag += def.Task.Frag.Mean
-			magFrag += mag.Task.Frag.Mean
+			def := s
+			def.Policy = guestos.PolicyDefault
+			mag := s
+			mag.Policy = guestos.PolicyPTEMagnet
+			jobs = append(jobs,
+				scenarioJob(suiteJobName(b, r, guestos.PolicyDefault), def),
+				scenarioJob(suiteJobName(b, r, guestos.PolicyPTEMagnet), mag))
 		}
-		e := SuiteEntry{
-			Benchmark:     b,
-			FragDefault:   defFrag / float64(repeats),
-			FragMagnet:    magFrag / float64(repeats),
-			SpeedupPct:    metrics.Speedup(defCycles, magCycles),
-			CyclesDefault: defCycles / uint64(repeats),
-			CyclesMagnet:  magCycles / uint64(repeats),
-		}
-		res.Entries = append(res.Entries, e)
-		ratios = append(ratios, float64(defCycles)/float64(magCycles))
 	}
-	res.GeomeanSpeedup = (metrics.Geomean(ratios) - 1) * 100
-	return res, nil
+	return engine.Set[Result, SuiteResult]{
+		Name:      "suite",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (SuiteResult, error) {
+			out := SuiteResult{Corunners: corunners}
+			var ratios []float64
+			for _, b := range benchmarks {
+				var defCycles, magCycles uint64
+				var defFrag, magFrag float64
+				complete := true
+				for r := 0; r < repeats; r++ {
+					def, okd := res.Get(suiteJobName(b, r, guestos.PolicyDefault))
+					mag, okm := res.Get(suiteJobName(b, r, guestos.PolicyPTEMagnet))
+					if !okd || !okm {
+						complete = false
+						break
+					}
+					defCycles += def.Task.SteadyCycles
+					magCycles += mag.Task.SteadyCycles
+					defFrag += def.Task.Frag.Mean
+					magFrag += mag.Task.Frag.Mean
+				}
+				if !complete {
+					continue
+				}
+				out.Entries = append(out.Entries, SuiteEntry{
+					Benchmark:     b,
+					FragDefault:   defFrag / float64(repeats),
+					FragMagnet:    magFrag / float64(repeats),
+					SpeedupPct:    metrics.Speedup(defCycles, magCycles),
+					CyclesDefault: defCycles / uint64(repeats),
+					CyclesMagnet:  magCycles / uint64(repeats),
+				})
+				ratios = append(ratios, float64(defCycles)/float64(magCycles))
+			}
+			if len(ratios) > 0 {
+				out.GeomeanSpeedup = (metrics.Geomean(ratios) - 1) * 100
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// runSuite executes a suite set on the default engine (tests and the
+// compatibility wrappers below).
+func runSuite(benchmarks []string, corunners []string, sc Scale, seed int64, repeats int) (SuiteResult, error) {
+	return engine.Execute(context.Background(), nil, SuiteSet(benchmarks, corunners, sc, seed, repeats))
+}
+
+// ObjdetSuiteSet declares the Figures 5/6 suite: every benchmark
+// colocated with objdet, averaged over SuiteRepeats seeds.
+func ObjdetSuiteSet(sc Scale, seed int64) engine.Set[Result, SuiteResult] {
+	return SuiteSet(Benchmarks, []string{"objdet"}, sc, seed, SuiteRepeats)
+}
+
+// CombinationSuiteSet declares the Figure 7 suite: every benchmark
+// colocated with the full Table 3 co-runner combination.
+func CombinationSuiteSet(sc Scale, seed int64) engine.Set[Result, SuiteResult] {
+	return SuiteSet(Benchmarks, Corunners, sc, seed, SuiteRepeats)
+}
+
+// RunObjdetSuiteCtx reproduces Figures 5 and 6 through the given engine.
+func RunObjdetSuiteCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (SuiteResult, error) {
+	return engine.Execute(ctx, e, ObjdetSuiteSet(sc, seed))
 }
 
 // RunObjdetSuite reproduces Figures 5 and 6: every benchmark colocated with
 // objdet, default vs PTEMagnet, averaged over SuiteRepeats seeds.
 func RunObjdetSuite(sc Scale, seed int64) (SuiteResult, error) {
-	return runSuite(Benchmarks, []string{"objdet"}, sc, seed, SuiteRepeats)
+	return RunObjdetSuiteCtx(context.Background(), nil, sc, seed)
+}
+
+// RunCombinationSuiteCtx reproduces Figure 7 through the given engine.
+func RunCombinationSuiteCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (SuiteResult, error) {
+	return engine.Execute(ctx, e, CombinationSuiteSet(sc, seed))
 }
 
 // RunCombinationSuite reproduces Figure 7: every benchmark colocated with
 // the full Table 3 co-runner combination, averaged over SuiteRepeats seeds.
 func RunCombinationSuite(sc Scale, seed int64) (SuiteResult, error) {
-	return runSuite(Benchmarks, Corunners, sc, seed, SuiteRepeats)
+	return RunCombinationSuiteCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the suite as the two paper charts: fragmentation (Fig 5)
@@ -199,27 +306,44 @@ type Table4Result struct {
 	Rows    []MetricRow
 }
 
+// Table4Set declares the Table 4 pair.
+func Table4Set(sc Scale, seed int64) engine.Set[Result, Table4Result] {
+	return engine.Set[Result, Table4Result]{
+		Name: "table4",
+		Scenarios: pairJobs("pagerank+objdet", Scenario{
+			Benchmark: "pagerank", Corunners: []string{"objdet"},
+			Scale: sc, Seed: seed,
+		}),
+		Reduce: func(res engine.Results[Result]) (Table4Result, error) {
+			if err := res.FailedErr(); err != nil {
+				return Table4Result{}, err
+			}
+			def, _ := res.Get("pagerank+objdet/default")
+			mag, _ := res.Get("pagerank+objdet/ptemagnet")
+			r := Table4Result{Default: def, Magnet: mag}
+			r.Rows = []MetricRow{
+				{"Host PT fragmentation", "-66% (3.4→1.2)", fmt.Sprintf("%s (%.1f→%.1f)",
+					pct(metrics.PercentChange(def.Task.Frag.Mean, mag.Task.Frag.Mean)),
+					def.Task.Frag.Mean, mag.Task.Frag.Mean)},
+				{"Execution time", "-7%", change(def.Task.SteadyCycles, mag.Task.SteadyCycles)},
+				{"Page walk cycles", "-17%", change(def.Walk.WalkCycles, mag.Walk.WalkCycles)},
+				{"Cycles traversing host PT", "-26%", change(def.Walk.Cycles[nested.DimHost], mag.Walk.Cycles[nested.DimHost])},
+				{"Guest PT accesses served by memory", "-1%", change(def.Walk.MemServed(nested.DimGuest), mag.Walk.MemServed(nested.DimGuest))},
+				{"Host PT accesses served by memory", "-13%", change(def.Walk.MemServed(nested.DimHost), mag.Walk.MemServed(nested.DimHost))},
+			}
+			return r, nil
+		},
+	}
+}
+
+// RunTable4Ctx reproduces Table 4 through the given engine.
+func RunTable4Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Table4Result, error) {
+	return engine.Execute(ctx, e, Table4Set(sc, seed))
+}
+
 // RunTable4 reproduces Table 4.
 func RunTable4(sc Scale, seed int64) (Table4Result, error) {
-	def, mag, err := RunPair(Scenario{
-		Benchmark: "pagerank", Corunners: []string{"objdet"},
-		Scale: sc, Seed: seed,
-	})
-	if err != nil {
-		return Table4Result{}, err
-	}
-	r := Table4Result{Default: def, Magnet: mag}
-	r.Rows = []MetricRow{
-		{"Host PT fragmentation", "-66% (3.4→1.2)", fmt.Sprintf("%s (%.1f→%.1f)",
-			pct(metrics.PercentChange(def.Task.Frag.Mean, mag.Task.Frag.Mean)),
-			def.Task.Frag.Mean, mag.Task.Frag.Mean)},
-		{"Execution time", "-7%", change(def.Task.SteadyCycles, mag.Task.SteadyCycles)},
-		{"Page walk cycles", "-17%", change(def.Walk.WalkCycles, mag.Walk.WalkCycles)},
-		{"Cycles traversing host PT", "-26%", change(def.Walk.Cycles[nested.DimHost], mag.Walk.Cycles[nested.DimHost])},
-		{"Guest PT accesses served by memory", "-1%", change(def.Walk.MemServed(nested.DimGuest), mag.Walk.MemServed(nested.DimGuest))},
-		{"Host PT accesses served by memory", "-13%", change(def.Walk.MemServed(nested.DimHost), mag.Walk.MemServed(nested.DimHost))},
-	}
-	return r, nil
+	return RunTable4Ctx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/core"
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/physmem"
@@ -36,30 +38,50 @@ type Sec62Result struct {
 	Adversary Sec62Entry
 }
 
-// RunSec62 reproduces the §6.2 study: run every benchmark under PTEMagnet
-// (colocated with objdet, as in §6.1), sampling the unused-reservation gauge
-// throughout, then run the every-eighth-page adversary.
-func RunSec62(sc Scale, seed int64) (Sec62Result, error) {
-	var out Sec62Result
-	for _, b := range Benchmarks {
-		res, err := Run(Scenario{
+// Sec62Set declares the §6.2 study: every benchmark under PTEMagnet
+// (colocated with objdet, as in §6.1) with the unused-reservation gauge
+// sampled throughout, plus the every-eighth-page adversary. Benchmarks
+// whose run failed are dropped from the entries; their errors surface
+// through the returned error.
+func Sec62Set(sc Scale, seed int64) engine.Set[Result, Sec62Result] {
+	benchmarks := append([]string(nil), Benchmarks...)
+	var jobs []engine.Scenario[Result]
+	for _, b := range benchmarks {
+		jobs = append(jobs, scenarioJob(b, Scenario{
 			Benchmark: b, Corunners: []string{"objdet"},
 			Policy: guestos.PolicyPTEMagnet, Scale: sc, Seed: seed,
-		})
-		if err != nil {
-			return Sec62Result{}, fmt.Errorf("%s: %w", b, err)
-		}
-		out.Entries = append(out.Entries, sec62Entry(b, res))
+		}))
 	}
-	adv, err := Run(Scenario{
+	jobs = append(jobs, scenarioJob("sparse", Scenario{
 		Benchmark: "sparse", Policy: guestos.PolicyPTEMagnet,
 		Scale: sc, Seed: seed,
-	})
-	if err != nil {
-		return Sec62Result{}, fmt.Errorf("sparse: %w", err)
+	}))
+	return engine.Set[Result, Sec62Result]{
+		Name:      "sec62",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (Sec62Result, error) {
+			var out Sec62Result
+			for _, b := range benchmarks {
+				if r, ok := res.Get(b); ok {
+					out.Entries = append(out.Entries, sec62Entry(b, r))
+				}
+			}
+			if adv, ok := res.Get("sparse"); ok {
+				out.Adversary = sec62Entry("sparse", adv)
+			}
+			return out, res.FailedErr()
+		},
 	}
-	out.Adversary = sec62Entry("sparse", adv)
-	return out, nil
+}
+
+// RunSec62Ctx reproduces the §6.2 study through the given engine.
+func RunSec62Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Sec62Result, error) {
+	return engine.Execute(ctx, e, Sec62Set(sc, seed))
+}
+
+// RunSec62 reproduces the §6.2 study.
+func RunSec62(sc Scale, seed int64) (Sec62Result, error) {
+	return RunSec62Ctx(context.Background(), nil, sc, seed)
 }
 
 func sec62Entry(name string, res Result) Sec62Entry {
@@ -107,26 +129,44 @@ type Sec64Result struct {
 	FaultCyclesMagnet  uint64
 }
 
-// RunSec64 reproduces the §6.4 microbenchmark: touch every page of a huge
-// array once, so execution is dominated by the fault/allocation path.
-func RunSec64(sc Scale, seed int64) (Sec64Result, error) {
-	def, mag, err := RunPair(Scenario{
-		Benchmark: "allocmicro", Scale: sc, Seed: seed,
-	})
-	if err != nil {
-		return Sec64Result{}, err
+// Sec64Set declares the §6.4 microbenchmark pair: touch every page of a
+// huge array once, so execution is dominated by the fault/allocation path.
+func Sec64Set(sc Scale, seed int64) engine.Set[Result, Sec64Result] {
+	return engine.Set[Result, Sec64Result]{
+		Name: "sec64",
+		Scenarios: pairJobs("allocmicro", Scenario{
+			Benchmark: "allocmicro", Scale: sc, Seed: seed,
+		}),
+		Reduce: func(res engine.Results[Result]) (Sec64Result, error) {
+			if err := res.FailedErr(); err != nil {
+				return Sec64Result{}, err
+			}
+			def, _ := res.Get("allocmicro/default")
+			mag, _ := res.Get("allocmicro/ptemagnet")
+			return Sec64Result{
+				Default: def,
+				Magnet:  mag,
+				// Whole-run cycles: the entire microbenchmark is the
+				// measurement (there is no steady phase after the
+				// allocation scan).
+				ImprovementPct:     metrics.Speedup(def.Task.Cycles, mag.Task.Cycles),
+				BuddyCallsDefault:  def.Guest.BuddyCalls,
+				BuddyCallsMagnet:   mag.Guest.BuddyCalls,
+				FaultCyclesDefault: def.Task.FaultCycles,
+				FaultCyclesMagnet:  mag.Task.FaultCycles,
+			}, nil
+		},
 	}
-	return Sec64Result{
-		Default: def,
-		Magnet:  mag,
-		// Whole-run cycles: the entire microbenchmark is the measurement
-		// (there is no steady phase after the allocation scan).
-		ImprovementPct:     metrics.Speedup(def.Task.Cycles, mag.Task.Cycles),
-		BuddyCallsDefault:  def.Guest.BuddyCalls,
-		BuddyCallsMagnet:   mag.Guest.BuddyCalls,
-		FaultCyclesDefault: def.Task.FaultCycles,
-		FaultCyclesMagnet:  mag.Task.FaultCycles,
-	}, nil
+}
+
+// RunSec64Ctx reproduces the §6.4 microbenchmark through the given engine.
+func RunSec64Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Sec64Result, error) {
+	return engine.Execute(ctx, e, Sec64Set(sc, seed))
+}
+
+// RunSec64 reproduces the §6.4 microbenchmark.
+func RunSec64(sc Scale, seed int64) (Sec64Result, error) {
+	return RunSec64Ctx(context.Background(), nil, sc, seed)
 }
 
 // Speedup uses whole-run cycles here: the entire microbenchmark is the
@@ -163,32 +203,57 @@ type GranularityResult struct {
 	Entries  []GranularityEntry
 }
 
-// RunGranularity sweeps GroupPages over pagerank + objdet.
-func RunGranularity(sc Scale, seed int64) (GranularityResult, error) {
+// granularitySweep is the swept group sizes; 8 is the paper's design point.
+var granularitySweep = []int{2, 4, 8, 16, 32}
+
+// GranularitySet declares the granularity sweep over pagerank + objdet:
+// the default-policy baseline plus one PTEMagnet run per group size.
+func GranularitySet(sc Scale, seed int64) engine.Set[Result, GranularityResult] {
 	base := Scenario{
 		Benchmark: "pagerank", Corunners: []string{"objdet"},
 		Policy: guestos.PolicyDefault, Scale: sc, Seed: seed,
 	}
-	def, err := Run(base)
-	if err != nil {
-		return GranularityResult{}, err
-	}
-	out := GranularityResult{Baseline: def}
-	for _, gp := range []int{2, 4, 8, 16, 32} {
+	jobs := []engine.Scenario[Result]{scenarioJob("default", base)}
+	for _, gp := range granularitySweep {
 		s := base
 		s.Policy = guestos.PolicyPTEMagnet
 		s.Magnet = core.Config{GroupPages: gp}
-		res, err := Run(s)
-		if err != nil {
-			return GranularityResult{}, fmt.Errorf("group %d: %w", gp, err)
-		}
-		out.Entries = append(out.Entries, GranularityEntry{
-			GroupPages: gp,
-			Frag:       res.Task.Frag.Mean,
-			SpeedupPct: res.Speedup(def),
-		})
+		jobs = append(jobs, scenarioJob(fmt.Sprintf("group%d", gp), s))
 	}
-	return out, nil
+	return engine.Set[Result, GranularityResult]{
+		Name:      "granularity",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (GranularityResult, error) {
+			def, ok := res.Get("default")
+			if !ok {
+				// Without the baseline no design point is comparable.
+				return GranularityResult{}, res.FailedErr()
+			}
+			out := GranularityResult{Baseline: def}
+			for _, gp := range granularitySweep {
+				r, ok := res.Get(fmt.Sprintf("group%d", gp))
+				if !ok {
+					continue
+				}
+				out.Entries = append(out.Entries, GranularityEntry{
+					GroupPages: gp,
+					Frag:       r.Task.Frag.Mean,
+					SpeedupPct: r.Speedup(def),
+				})
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// RunGranularityCtx runs the sweep through the given engine.
+func RunGranularityCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (GranularityResult, error) {
+	return engine.Execute(ctx, e, GranularitySet(sc, seed))
+}
+
+// RunGranularity sweeps GroupPages over pagerank + objdet.
+func RunGranularity(sc Scale, seed int64) (GranularityResult, error) {
+	return RunGranularityCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the sweep.
@@ -214,7 +279,9 @@ type LockingResult struct {
 
 // RunLockingAblation hammers two PaRTs with concurrent faults to disjoint
 // groups (the multi-threaded-allocation scenario of §4.2) and compares
-// wall-clock throughput. This is real concurrency, not simulated time.
+// wall-clock throughput. This is real concurrency, not simulated time —
+// it spawns its own goroutines and therefore bypasses the scenario
+// engine (nesting it inside a worker pool would skew the measurement).
 func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 	measure := func(coarse bool) float64 {
 		part := core.New(core.Config{GroupPages: arch.GroupPages, CoarseLocking: coarse})
@@ -273,11 +340,14 @@ type ReclaimResult struct {
 	Entries []ReclaimEntry
 }
 
-// RunReclaimSweep sweeps the reclaim watermark.
-func RunReclaimSweep(sc Scale, seed int64) (ReclaimResult, error) {
-	var out ReclaimResult
-	for _, wm := range []float64{0.3, 0.5, 0.7, 0.9} {
-		res, err := Run(Scenario{
+// reclaimWatermarks is the swept §4.3 watermark design points.
+var reclaimWatermarks = []float64{0.3, 0.5, 0.7, 0.9}
+
+// ReclaimSweepSet declares the reclaim-watermark sweep.
+func ReclaimSweepSet(sc Scale, seed int64) engine.Set[Result, ReclaimResult] {
+	var jobs []engine.Scenario[Result]
+	for _, wm := range reclaimWatermarks {
+		jobs = append(jobs, scenarioJob(fmt.Sprintf("watermark%.1f", wm), Scenario{
 			Benchmark: "sparse", Policy: guestos.PolicyPTEMagnet,
 			ReclaimWatermark: wm,
 			Scale: Scale{
@@ -287,18 +357,38 @@ func RunReclaimSweep(sc Scale, seed int64) (ReclaimResult, error) {
 				Accesses:      sc.Accesses,
 			},
 			Seed: seed,
-		})
-		if err != nil {
-			return ReclaimResult{}, fmt.Errorf("watermark %.1f: %w", wm, err)
-		}
-		out.Entries = append(out.Entries, ReclaimEntry{
-			Watermark:             wm,
-			ReclaimRuns:           res.Guest.ReclaimRuns,
-			ReclaimedReservations: res.Guest.ReclaimedReservations,
-			PeakUnusedPages:       res.UnusedMax,
-		})
+		}))
 	}
-	return out, nil
+	return engine.Set[Result, ReclaimResult]{
+		Name:      "reclaim",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (ReclaimResult, error) {
+			var out ReclaimResult
+			for _, wm := range reclaimWatermarks {
+				r, ok := res.Get(fmt.Sprintf("watermark%.1f", wm))
+				if !ok {
+					continue
+				}
+				out.Entries = append(out.Entries, ReclaimEntry{
+					Watermark:             wm,
+					ReclaimRuns:           r.Guest.ReclaimRuns,
+					ReclaimedReservations: r.Guest.ReclaimedReservations,
+					PeakUnusedPages:       r.UnusedMax,
+				})
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// RunReclaimSweepCtx runs the sweep through the given engine.
+func RunReclaimSweepCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (ReclaimResult, error) {
+	return engine.Execute(ctx, e, ReclaimSweepSet(sc, seed))
+}
+
+// RunReclaimSweep sweeps the reclaim watermark.
+func RunReclaimSweep(sc Scale, seed int64) (ReclaimResult, error) {
+	return RunReclaimSweepCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the sweep.
@@ -324,7 +414,8 @@ type ThresholdResult struct {
 }
 
 // RunThresholdDemo runs pagerank with the small co-runners under a
-// threshold chosen to include only the benchmark.
+// threshold chosen to include only the benchmark. It only builds a
+// machine (no simulation run), so it does not go through the engine.
 func RunThresholdDemo(sc Scale, seed int64) (ThresholdResult, error) {
 	// The small co-runners declare footprints of at most 8MB; any
 	// threshold above that and at most the benchmark's footprint
@@ -367,6 +458,22 @@ func (r ThresholdResult) String() string {
 // Baseline comparison: contiguity-aware paging (related work, §7)
 // ---------------------------------------------------------------------------
 
+// colocationLevels are the rising-pressure co-runner sets shared by the
+// CA-paging and THP baseline comparisons.
+func colocationLevels() []struct {
+	name      string
+	corunners []string
+} {
+	return []struct {
+		name      string
+		corunners []string
+	}{
+		{"solo", nil},
+		{"objdet", []string{"objdet"}},
+		{"combination", append([]string(nil), Corunners...)},
+	}
+}
+
 // CAPagingEntry compares allocators at one colocation level.
 type CAPagingEntry struct {
 	// Colocation names the co-runner set.
@@ -390,48 +497,60 @@ type CAPagingResult struct {
 	Entries []CAPagingEntry
 }
 
-// RunCAPagingComparison runs pagerank at three colocation levels under the
-// default allocator, CA paging, and PTEMagnet.
-func RunCAPagingComparison(sc Scale, seed int64) (CAPagingResult, error) {
-	levels := []struct {
-		name      string
-		corunners []string
-	}{
-		{"solo", nil},
-		{"objdet", []string{"objdet"}},
-		{"combination", Corunners},
-	}
-	var out CAPagingResult
+// CAPagingSet declares pagerank at three colocation levels under the
+// default allocator, CA paging, and PTEMagnet (nine scenarios). A level
+// with any failed run is dropped from the entries.
+func CAPagingSet(sc Scale, seed int64) engine.Set[Result, CAPagingResult] {
+	levels := colocationLevels()
+	var jobs []engine.Scenario[Result]
 	for _, lv := range levels {
 		base := Scenario{
 			Benchmark: "pagerank", Corunners: lv.corunners,
 			Scale: sc, Seed: seed,
 		}
-		base.Policy = guestos.PolicyDefault
-		def, err := Run(base)
-		if err != nil {
-			return CAPagingResult{}, fmt.Errorf("%s/default: %w", lv.name, err)
+		for _, p := range []guestos.AllocPolicy{
+			guestos.PolicyDefault, guestos.PolicyCAPaging, guestos.PolicyPTEMagnet,
+		} {
+			s := base
+			s.Policy = p
+			jobs = append(jobs, scenarioJob(fmt.Sprintf("%s/%v", lv.name, p), s))
 		}
-		base.Policy = guestos.PolicyCAPaging
-		ca, err := Run(base)
-		if err != nil {
-			return CAPagingResult{}, fmt.Errorf("%s/capaging: %w", lv.name, err)
-		}
-		base.Policy = guestos.PolicyPTEMagnet
-		mag, err := Run(base)
-		if err != nil {
-			return CAPagingResult{}, fmt.Errorf("%s/ptemagnet: %w", lv.name, err)
-		}
-		out.Entries = append(out.Entries, CAPagingEntry{
-			Colocation:    lv.name,
-			FragDefault:   def.Task.Frag.Mean,
-			FragCA:        ca.Task.Frag.Mean,
-			FragMagnet:    mag.Task.Frag.Mean,
-			SpeedupCA:     ca.Speedup(def),
-			SpeedupMagnet: mag.Speedup(def),
-		})
 	}
-	return out, nil
+	return engine.Set[Result, CAPagingResult]{
+		Name:      "capaging",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (CAPagingResult, error) {
+			var out CAPagingResult
+			for _, lv := range levels {
+				def, okD := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyDefault))
+				ca, okC := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyCAPaging))
+				mag, okM := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyPTEMagnet))
+				if !okD || !okC || !okM {
+					continue
+				}
+				out.Entries = append(out.Entries, CAPagingEntry{
+					Colocation:    lv.name,
+					FragDefault:   def.Task.Frag.Mean,
+					FragCA:        ca.Task.Frag.Mean,
+					FragMagnet:    mag.Task.Frag.Mean,
+					SpeedupCA:     ca.Speedup(def),
+					SpeedupMagnet: mag.Speedup(def),
+				})
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// RunCAPagingComparisonCtx runs the comparison through the given engine.
+func RunCAPagingComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (CAPagingResult, error) {
+	return engine.Execute(ctx, e, CAPagingSet(sc, seed))
+}
+
+// RunCAPagingComparison runs pagerank at three colocation levels under the
+// default allocator, CA paging, and PTEMagnet.
+func RunCAPagingComparison(sc Scale, seed int64) (CAPagingResult, error) {
+	return RunCAPagingComparisonCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.
@@ -480,79 +599,83 @@ type THPResult struct {
 	Entries []THPEntry
 }
 
-// RunTHPComparison runs pagerank at rising colocation pressure under the
-// default allocator, THP, and PTEMagnet.
-func RunTHPComparison(sc Scale, seed int64) (THPResult, error) {
-	levels := []struct {
-		name      string
-		corunners []string
-	}{
-		{"solo", nil},
-		{"objdet", []string{"objdet"}},
-		{"combination", Corunners},
+func thpEntry(name string, def, thp Result) THPEntry {
+	e := THPEntry{
+		Colocation:      name,
+		SpeedupTHP:      thp.Speedup(def),
+		THPFallbacks:    thp.Guest.THPFallbacks,
+		THPSplits:       thp.Guest.THPSplits,
+		RSSTHPPages:     thp.FootprintPages,
+		RSSDefaultPages: def.FootprintPages,
 	}
-	var out THPResult
+	if thp.FootprintPages > 0 {
+		e.THPCoverage = float64(thp.LargeMappings*512) / float64(thp.FootprintPages)
+	}
+	return e
+}
+
+// THPSet declares pagerank at rising colocation pressure under the
+// default allocator, THP, and PTEMagnet, plus the sparse-touch pair that
+// exposes THP's internal fragmentation (§2.3's first cost).
+func THPSet(sc Scale, seed int64) engine.Set[Result, THPResult] {
+	levels := colocationLevels()
+	var jobs []engine.Scenario[Result]
 	for _, lv := range levels {
 		base := Scenario{
 			Benchmark: "pagerank", Corunners: lv.corunners,
 			Scale: sc, Seed: seed,
 		}
-		base.Policy = guestos.PolicyDefault
-		def, err := Run(base)
-		if err != nil {
-			return THPResult{}, fmt.Errorf("%s/default: %w", lv.name, err)
+		for _, p := range []guestos.AllocPolicy{
+			guestos.PolicyDefault, guestos.PolicyTHP, guestos.PolicyPTEMagnet,
+		} {
+			s := base
+			s.Policy = p
+			jobs = append(jobs, scenarioJob(fmt.Sprintf("%s/%v", lv.name, p), s))
 		}
-		base.Policy = guestos.PolicyTHP
-		thp, err := Run(base)
-		if err != nil {
-			return THPResult{}, fmt.Errorf("%s/thp: %w", lv.name, err)
-		}
-		base.Policy = guestos.PolicyPTEMagnet
-		mag, err := Run(base)
-		if err != nil {
-			return THPResult{}, fmt.Errorf("%s/ptemagnet: %w", lv.name, err)
-		}
-		e := THPEntry{
-			Colocation:      lv.name,
-			SpeedupTHP:      thp.Speedup(def),
-			SpeedupMagnet:   mag.Speedup(def),
-			THPFallbacks:    thp.Guest.THPFallbacks,
-			THPSplits:       thp.Guest.THPSplits,
-			RSSTHPPages:     thp.FootprintPages,
-			RSSDefaultPages: def.FootprintPages,
-		}
-		if thp.FootprintPages > 0 {
-			e.THPCoverage = float64(thp.LargeMappings*512) / float64(thp.FootprintPages)
-		}
-		out.Entries = append(out.Entries, e)
 	}
-	// Internal fragmentation (§2.3's first cost): the sparse-touch
-	// workload commits one page per 32KB; THP commits the whole 2MB
-	// region per touch.
+	// Internal fragmentation: the sparse-touch workload commits one page
+	// per 32KB; THP commits the whole 2MB region per touch.
 	sparseBase := Scenario{Benchmark: "sparse", Scale: sc, Seed: seed}
-	sparseBase.Policy = guestos.PolicyDefault
-	sd, err := Run(sparseBase)
-	if err != nil {
-		return THPResult{}, fmt.Errorf("sparse/default: %w", err)
+	for _, p := range []guestos.AllocPolicy{guestos.PolicyDefault, guestos.PolicyTHP} {
+		s := sparseBase
+		s.Policy = p
+		jobs = append(jobs, scenarioJob(fmt.Sprintf("sparse-touch/%v", p), s))
 	}
-	sparseBase.Policy = guestos.PolicyTHP
-	st, err := Run(sparseBase)
-	if err != nil {
-		return THPResult{}, fmt.Errorf("sparse/thp: %w", err)
+	return engine.Set[Result, THPResult]{
+		Name:      "thp",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (THPResult, error) {
+			var out THPResult
+			for _, lv := range levels {
+				def, okD := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyDefault))
+				thp, okT := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyTHP))
+				mag, okM := res.Get(fmt.Sprintf("%s/%v", lv.name, guestos.PolicyPTEMagnet))
+				if !okD || !okT || !okM {
+					continue
+				}
+				e := thpEntry(lv.name, def, thp)
+				e.SpeedupMagnet = mag.Speedup(def)
+				out.Entries = append(out.Entries, e)
+			}
+			sd, okD := res.Get(fmt.Sprintf("sparse-touch/%v", guestos.PolicyDefault))
+			st, okT := res.Get(fmt.Sprintf("sparse-touch/%v", guestos.PolicyTHP))
+			if okD && okT {
+				out.Entries = append(out.Entries, thpEntry("sparse-touch", sd, st))
+			}
+			return out, res.FailedErr()
+		},
 	}
-	entry := THPEntry{
-		Colocation:      "sparse-touch",
-		SpeedupTHP:      st.Speedup(sd),
-		THPFallbacks:    st.Guest.THPFallbacks,
-		THPSplits:       st.Guest.THPSplits,
-		RSSTHPPages:     st.FootprintPages,
-		RSSDefaultPages: sd.FootprintPages,
-	}
-	if st.FootprintPages > 0 {
-		entry.THPCoverage = float64(st.LargeMappings*512) / float64(st.FootprintPages)
-	}
-	out.Entries = append(out.Entries, entry)
-	return out, nil
+}
+
+// RunTHPComparisonCtx runs the comparison through the given engine.
+func RunTHPComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (THPResult, error) {
+	return engine.Execute(ctx, e, THPSet(sc, seed))
+}
+
+// RunTHPComparison runs pagerank at rising colocation pressure under the
+// default allocator, THP, and PTEMagnet.
+func RunTHPComparison(sc Scale, seed int64) (THPResult, error) {
+	return RunTHPComparisonCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.
@@ -591,26 +714,49 @@ type FiveLevelResult struct {
 	Entries []FiveLevelEntry
 }
 
+// FiveLevelSet declares pagerank + objdet at both page-table depths under
+// both policies (four scenarios).
+func FiveLevelSet(sc Scale, seed int64) engine.Set[Result, FiveLevelResult] {
+	depths := []int{4, 5}
+	var jobs []engine.Scenario[Result]
+	for _, levels := range depths {
+		jobs = append(jobs, pairJobs(fmt.Sprintf("%d-level", levels), Scenario{
+			Benchmark: "pagerank", Corunners: []string{"objdet"},
+			Scale: sc, Seed: seed, PTLevels: levels,
+		})...)
+	}
+	return engine.Set[Result, FiveLevelResult]{
+		Name:      "fivelevel",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (FiveLevelResult, error) {
+			var out FiveLevelResult
+			for _, levels := range depths {
+				def, okD := res.Get(fmt.Sprintf("%d-level/default", levels))
+				mag, okM := res.Get(fmt.Sprintf("%d-level/ptemagnet", levels))
+				if !okD || !okM {
+					continue
+				}
+				out.Entries = append(out.Entries, FiveLevelEntry{
+					Levels:            levels,
+					WalkCyclesDefault: def.Walk.WalkCycles,
+					WalkCyclesMagnet:  mag.Walk.WalkCycles,
+					SpeedupMagnet:     mag.Speedup(def),
+				})
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// RunFiveLevelComparisonCtx runs the comparison through the given engine.
+func RunFiveLevelComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (FiveLevelResult, error) {
+	return engine.Execute(ctx, e, FiveLevelSet(sc, seed))
+}
+
 // RunFiveLevelComparison runs pagerank + objdet at both depths under both
 // policies.
 func RunFiveLevelComparison(sc Scale, seed int64) (FiveLevelResult, error) {
-	var out FiveLevelResult
-	for _, levels := range []int{4, 5} {
-		def, mag, err := RunPair(Scenario{
-			Benchmark: "pagerank", Corunners: []string{"objdet"},
-			Scale: sc, Seed: seed, PTLevels: levels,
-		})
-		if err != nil {
-			return FiveLevelResult{}, fmt.Errorf("%d-level: %w", levels, err)
-		}
-		out.Entries = append(out.Entries, FiveLevelEntry{
-			Levels:            levels,
-			WalkCyclesDefault: def.Walk.WalkCycles,
-			WalkCyclesMagnet:  mag.Walk.WalkCycles,
-			SpeedupMagnet:     mag.Speedup(def),
-		})
-	}
-	return out, nil
+	return RunFiveLevelComparisonCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.
@@ -645,41 +791,66 @@ type LowPressureResult struct {
 	Entries []LowPressureEntry
 }
 
-// RunLowPressure runs small-footprint variants (working sets within TLB
-// reach) of three benchmarks under both policies, colocated with objdet.
-func RunLowPressure(sc Scale, seed int64) (LowPressureResult, error) {
+// lowPressureBenchmarks are the small-footprint variants under study.
+var lowPressureBenchmarks = []string{"gcc", "omnetpp", "xz"}
+
+// LowPressureSet declares small-footprint variants (working sets within
+// TLB reach) of three benchmarks: the colocated default/PTEMagnet pair
+// plus a solo default run per benchmark (the walker counters in a
+// colocated run mix in the co-runner's misses, so the benchmark's own
+// TLB pressure is measured from the solo run).
+func LowPressureSet(sc Scale, seed int64) engine.Set[Result, LowPressureResult] {
 	small := sc
 	// Footprints near the STLB reach (1024 entries × 4KB = 4MB): almost
 	// every access is a TLB hit, so there is nothing for PTEMagnet to
 	// accelerate — and nothing it may slow down.
 	small.DatasetBytes = 3 << 20
-	var out LowPressureResult
-	for _, b := range []string{"gcc", "omnetpp", "xz"} {
-		def, mag, err := RunPair(Scenario{
+	var jobs []engine.Scenario[Result]
+	for _, b := range lowPressureBenchmarks {
+		jobs = append(jobs, pairJobs(b, Scenario{
 			Benchmark: b, Corunners: []string{"objdet"},
 			Scale: small, Seed: seed,
-		})
-		if err != nil {
-			return LowPressureResult{}, fmt.Errorf("%s: %w", b, err)
-		}
-		// The walker counters in a colocated run mix in the co-runner's
-		// misses; measure the benchmark's own TLB pressure from a solo
-		// run.
-		solo, err := Run(Scenario{Benchmark: b, Policy: guestos.PolicyDefault, Scale: small, Seed: seed})
-		if err != nil {
-			return LowPressureResult{}, fmt.Errorf("%s solo: %w", b, err)
-		}
-		missPct := 0.0
-		if solo.Walk.Lookups > 0 {
-			missPct = 100 * float64(solo.Walk.TLBMisses()) / float64(solo.Walk.Lookups)
-		}
-		out.Entries = append(out.Entries, LowPressureEntry{
-			Benchmark:  b,
-			SpeedupPct: mag.Speedup(def),
-			TLBMissPct: missPct,
-		})
+		})...)
+		jobs = append(jobs, scenarioJob(b+"/solo", Scenario{
+			Benchmark: b, Policy: guestos.PolicyDefault, Scale: small, Seed: seed,
+		}))
 	}
-	return out, nil
+	return engine.Set[Result, LowPressureResult]{
+		Name:      "lowpressure",
+		Scenarios: jobs,
+		Reduce: func(res engine.Results[Result]) (LowPressureResult, error) {
+			var out LowPressureResult
+			for _, b := range lowPressureBenchmarks {
+				def, okD := res.Get(b + "/default")
+				mag, okM := res.Get(b + "/ptemagnet")
+				solo, okS := res.Get(b + "/solo")
+				if !okD || !okM || !okS {
+					continue
+				}
+				missPct := 0.0
+				if solo.Walk.Lookups > 0 {
+					missPct = 100 * float64(solo.Walk.TLBMisses()) / float64(solo.Walk.Lookups)
+				}
+				out.Entries = append(out.Entries, LowPressureEntry{
+					Benchmark:  b,
+					SpeedupPct: mag.Speedup(def),
+					TLBMissPct: missPct,
+				})
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+// RunLowPressureCtx runs the study through the given engine.
+func RunLowPressureCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (LowPressureResult, error) {
+	return engine.Execute(ctx, e, LowPressureSet(sc, seed))
+}
+
+// RunLowPressure runs small-footprint variants (working sets within TLB
+// reach) of three benchmarks under both policies, colocated with objdet.
+func RunLowPressure(sc Scale, seed int64) (LowPressureResult, error) {
+	return RunLowPressureCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the study.

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -232,6 +233,13 @@ func BuildMachine(s Scenario) (*vm.Machine, error) {
 
 // Run executes one scenario.
 func Run(s Scenario) (Result, error) {
+	return RunCtx(context.Background(), s)
+}
+
+// RunCtx executes one scenario under a cancellable context. Each call
+// builds its own machine, so concurrent RunCtx calls (the engine's
+// parallel runner) share no mutable state.
+func RunCtx(ctx context.Context, s Scenario) (Result, error) {
 	m, err := BuildMachine(s)
 	if err != nil {
 		return Result{}, err
@@ -244,7 +252,7 @@ func Run(s Scenario) (Result, error) {
 			sampleEvery = 1024
 		}
 	}
-	if err := m.Run(vm.RunOptions{
+	if err := m.RunContext(ctx, vm.RunOptions{
 		StopCorunnersAtPrimaryInit: s.StopCorunnersAtInit,
 		SampleEvery:                sampleEvery,
 	}); err != nil {
@@ -275,13 +283,18 @@ func (r Result) Speedup(base Result) float64 {
 // RunPair runs the same scenario under the default policy and under
 // PTEMagnet, returning (default, magnet).
 func RunPair(s Scenario) (Result, Result, error) {
+	return RunPairCtx(context.Background(), s)
+}
+
+// RunPairCtx is RunPair under a cancellable context.
+func RunPairCtx(ctx context.Context, s Scenario) (Result, Result, error) {
 	s.Policy = guestos.PolicyDefault
-	def, err := Run(s)
+	def, err := RunCtx(ctx, s)
 	if err != nil {
 		return Result{}, Result{}, fmt.Errorf("default run: %w", err)
 	}
 	s.Policy = guestos.PolicyPTEMagnet
-	mag, err := Run(s)
+	mag, err := RunCtx(ctx, s)
 	if err != nil {
 		return Result{}, Result{}, fmt.Errorf("ptemagnet run: %w", err)
 	}

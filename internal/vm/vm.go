@@ -14,6 +14,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 
 	"ptemagnet/internal/arch"
@@ -352,6 +353,15 @@ type RunOptions struct {
 // returns an error only for simulation bugs (workload accessing unmapped
 // regions, guest OOM).
 func (m *Machine) Run(opts RunOptions) error {
+	return m.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: the scheduler polls ctx between
+// rounds (one quantum of every task), so a canceled run stops within a
+// handful of accesses and returns the context's error. This is the
+// cancellation point for every workload inner loop — workloads only
+// execute inside scheduler rounds.
+func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 	primariesLeft := 0
 	for _, t := range m.tasks {
 		if t.spec.Role == RolePrimary {
@@ -364,6 +374,9 @@ func (m *Machine) Run(opts RunOptions) error {
 	corunnersActive := true
 	var nextSample uint64
 	for primariesLeft > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("vm: run canceled: %w", err)
+		}
 		progressed := false
 		for _, t := range m.tasks {
 			if t.done {

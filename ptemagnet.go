@@ -32,9 +32,12 @@
 package ptemagnet
 
 import (
+	"context"
+
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
@@ -234,11 +237,53 @@ var (
 // RunScenario executes one scenario on a freshly assembled machine.
 func RunScenario(s Scenario) (ScenarioResult, error) { return sim.Run(s) }
 
+// RunScenarioCtx is RunScenario under a cancellable context.
+func RunScenarioCtx(ctx context.Context, s Scenario) (ScenarioResult, error) {
+	return sim.RunCtx(ctx, s)
+}
+
 // RunScenarioPair runs a scenario under the default policy and under
 // PTEMagnet, returning (default, ptemagnet).
 func RunScenarioPair(s Scenario) (ScenarioResult, ScenarioResult, error) {
 	return sim.RunPair(s)
 }
+
+// Scenario-execution engine: experiment sets run through a bounded worker
+// pool with deterministic (worker-count-independent) reduced output.
+type (
+	// Engine executes scenario sets; see NewEngine.
+	Engine = engine.Engine
+	// EngineEvent is one per-scenario progress report (Engine.OnEvent).
+	EngineEvent = engine.Event
+)
+
+// NewEngine returns an engine with the given worker count (<= 0 means
+// GOMAXPROCS). A nil *Engine is also accepted by the RunXxxCtx functions
+// and behaves like NewEngine(0).
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// DeriveSeed maps a base seed and a scenario name to a per-scenario seed
+// independent of worker count and completion order.
+func DeriveSeed(base int64, name string) int64 { return engine.DeriveSeed(base, name) }
+
+// Context-aware experiment entry points. Each RunXxxCtx variant runs its
+// scenarios through the given engine's worker pool (nil means default
+// settings) and honours ctx cancellation; the reduced result is identical
+// for any worker count.
+var (
+	RunTable1Ctx              = sim.RunTable1Ctx
+	RunObjdetSuiteCtx         = sim.RunObjdetSuiteCtx
+	RunCombinationSuiteCtx    = sim.RunCombinationSuiteCtx
+	RunTable4Ctx              = sim.RunTable4Ctx
+	RunSec62Ctx               = sim.RunSec62Ctx
+	RunSec64Ctx               = sim.RunSec64Ctx
+	RunGranularityCtx         = sim.RunGranularityCtx
+	RunReclaimSweepCtx        = sim.RunReclaimSweepCtx
+	RunCAPagingComparisonCtx  = sim.RunCAPagingComparisonCtx
+	RunTHPComparisonCtx       = sim.RunTHPComparisonCtx
+	RunFiveLevelComparisonCtx = sim.RunFiveLevelComparisonCtx
+	RunLowPressureCtx         = sim.RunLowPressureCtx
+)
 
 // DefaultScale returns the calibrated experiment sizing (1/256 of the
 // paper's 16GB-dataset setup); QuickScale a fast variant for smoke tests.
