@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments
+.PHONY: all build vet lint test race bench experiments
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# ptmlint enforces the determinism and address-hygiene contracts of
+# DESIGN.md §6 (detrange, noclock, seedflow, archconst). Blocking: any
+# finding fails the build.
+lint:
+	$(GO) run ./cmd/ptmlint
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,84 @@
+// Command ptmlint runs the repo's determinism and address-hygiene
+// analyzers (internal/lint) over the whole module and exits non-zero on
+// findings. It is wired into `make lint` and CI as a blocking check; see
+// DESIGN.md §6 for the contract each analyzer enforces and the
+// //ptmlint:allow escape hatch.
+//
+// Usage:
+//
+//	ptmlint [-dir module-root] [-json] [-detrange=false] ...
+//
+// Each analyzer has an enable flag named after it (default true), so a
+// single check can be run in isolation (`ptmlint -noclock=false
+// -seedflow=false -archconst=false`) or temporarily waived while a large
+// refactor lands.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ptemagnet/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: 0 clean, 1 findings, 2 usage or load
+// failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ptmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to lint (directory containing go.mod)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line lines")
+	enabled := make(map[string]*bool, len(lint.Analyzers))
+	for _, a := range lint.Analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" check: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ptmlint: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	var active []*lint.Analyzer
+	for _, a := range lint.Analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	mod, err := lint.Load(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "ptmlint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(mod, active)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "ptmlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "ptmlint: %d finding(s) in %d package(s) checked\n", len(findings), len(mod.Pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptemagnet/internal/lint"
+)
+
+// fixtureDir resolves an internal/lint fixture from this package's
+// directory.
+func fixtureDir(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src", name)
+}
+
+// soloFlags disables every analyzer except keep.
+func soloFlags(keep string) []string {
+	var args []string
+	for _, a := range lint.Analyzers {
+		if a.Name != keep {
+			args = append(args, fmt.Sprintf("-%s=false", a.Name))
+		}
+	}
+	return args
+}
+
+// TestDriverFailsOnFixtures is the acceptance check for the driver: for
+// each analyzer, introducing a violation (the fixture) makes ptmlint exit
+// non-zero with the correct [check] tag on stdout.
+func TestDriverFailsOnFixtures(t *testing.T) {
+	for _, a := range lint.Analyzers {
+		t.Run(a.Name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-dir", fixtureDir(a.Name)}, soloFlags(a.Name)...)
+			code := run(args, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+			tag := "[" + a.Name + "]"
+			if !strings.Contains(stdout.String(), tag) {
+				t.Errorf("stdout lacks %s tag:\n%s", tag, stdout.String())
+			}
+			if !strings.Contains(stderr.String(), "finding(s)") {
+				t.Errorf("stderr lacks the findings summary:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestDriverCleanExit runs an analyzer over a fixture that violates a
+// different check: no findings, exit 0, empty stdout.
+func TestDriverCleanExit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-dir", fixtureDir("archconst")}, soloFlags("detrange")...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty on a clean run:\n%s", stdout.String())
+	}
+}
+
+// TestDriverJSON checks the -json output shape.
+func TestDriverJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-json", "-dir", fixtureDir("noclock")}, soloFlags("noclock")...)
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output carries no findings")
+	}
+	for _, f := range findings {
+		if f.Check != "noclock" || f.File == "" || f.Line == 0 {
+			t.Errorf("malformed JSON finding: %+v", f)
+		}
+	}
+}
+
+// TestDriverBadFlags pins the usage-error exit code.
+func TestDriverBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code for stray argument = %d, want 2", code)
+	}
+}

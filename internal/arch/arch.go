@@ -56,6 +56,14 @@ const (
 	// VABits is the number of meaningful virtual-address bits (x86-64
 	// four-level paging translates 48 bits).
 	VABits = PageShift + PTLevels*PTIndexBits
+
+	// WordBytes is the machine word size the workloads stride by when
+	// touching memory: 8 bytes, matching the PTE size.
+	WordBytes = 8
+	// WordsPerPage is how many 8-byte words fit in one base page (512).
+	// Workload access generators use it to pick word-aligned offsets
+	// within a page.
+	WordsPerPage = PageSize / WordBytes
 )
 
 // VirtAddr is a virtual address. Guest code addresses guest-virtual space;

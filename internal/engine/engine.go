@@ -175,9 +175,9 @@ func Execute[R, O any](ctx context.Context, e *Engine, set Set[R, O]) (O, error)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				t0 := time.Now()
+				stop := StartTimer()
 				errs[i] = runScenario(ctx, set.Scenarios[i], &results[i])
-				finish(i, time.Since(t0))
+				finish(i, stop())
 			}
 		}()
 	}
@@ -219,6 +219,19 @@ func runScenario[R any](ctx context.Context, s Scenario[R], out *R) (err error) 
 	}()
 	*out, err = s.Run(ctx)
 	return err
+}
+
+// StartTimer is the engine's wall-clock hook: it returns a stop function
+// reporting the elapsed time since the StartTimer call. All wall-clock
+// measurement below cmd/ flows through this hook — the engine stamps
+// scenario Events with it, and ablations that measure real throughput
+// (e.g. the PaRT locking ablation) use it instead of calling time.Now
+// directly. Keeping every clock read behind one named hook is what lets
+// ptmlint's noclock analyzer prove the simulation core reads no
+// host-machine state (DESIGN.md §6).
+func StartTimer() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration { return time.Since(t0) }
 }
 
 // DeriveSeed maps a base seed and a scenario name to a per-scenario seed

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// Archconst flags raw literals of the x86-64 address geometry — shift
+// amounts 9/12/21, masks 511/0xFFF, and scale factors 512/4096 — used in
+// arithmetic outside internal/arch, which is the one package allowed to
+// spell the geometry out. Everywhere else the named constants keep the
+// whole simulation on a single geometry definition; a literal 12 that
+// drifts from arch.PageShift is exactly the silent-skew bug class
+// translation simulators are prone to.
+//
+// The heuristic is positional, so byte-size expressions like `512 << 20`
+// (512MB) are not flagged: only shift *amounts*, mask operands of &/&^,
+// and 512/4096 factors of *, /, and % count as address arithmetic.
+var Archconst = &Analyzer{
+	Name: "archconst",
+	Doc:  "flag raw page-geometry literals outside internal/arch",
+	Run:  runArchconst,
+}
+
+// Suggested replacements, keyed by literal value per operator class.
+var (
+	archShiftConsts = map[uint64]string{
+		9:  "arch.PTIndexBits",
+		12: "arch.PageShift",
+		21: "pagetable.LargePageShift (arch.PageShift + arch.PTIndexBits)",
+	}
+	archMaskConsts = map[uint64]string{
+		511:  "arch.PTEntriesPerNode - 1",
+		4095: "arch.PageMask",
+	}
+	archScaleConsts = map[uint64]string{
+		512:  "arch.PTEntriesPerNode (or arch.WordsPerPage for 8-byte-word offsets)",
+		4096: "arch.PageSize",
+	}
+)
+
+func runArchconst(p *Pass) {
+	if p.Pkg.RelDir == "internal/arch" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.SHL, token.SHR:
+				if v, ok := intLit(bin.Y); ok {
+					if name, hit := archShiftConsts[v]; hit {
+						p.Reportf(bin.Y.Pos(),
+							"raw shift amount %d in address arithmetic: use %s", v, name)
+					}
+				}
+			case token.AND, token.AND_NOT:
+				reportLit(p, bin.X, archMaskConsts, "raw mask")
+				reportLit(p, bin.Y, archMaskConsts, "raw mask")
+			case token.MUL:
+				reportLit(p, bin.X, archScaleConsts, "raw scale factor")
+				reportLit(p, bin.Y, archScaleConsts, "raw scale factor")
+			case token.QUO, token.REM:
+				reportLit(p, bin.Y, archScaleConsts, "raw scale factor")
+			}
+			return true
+		})
+	}
+}
+
+// reportLit flags e if it is an integer literal present in consts.
+func reportLit(p *Pass, e ast.Expr, consts map[uint64]string, kind string) {
+	v, ok := intLit(e)
+	if !ok {
+		return
+	}
+	name, hit := consts[v]
+	if !hit {
+		return
+	}
+	p.Reportf(e.Pos(), "%s %s in address arithmetic: use %s", kind, litText(e), name)
+}
+
+// intLit returns the value of an integer literal expression, looking
+// through parentheses.
+func intLit(e ast.Expr) (uint64, bool) {
+	for {
+		paren, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = paren.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// litText renders the literal as written in the source (0xFFF stays hex).
+func litText(e ast.Expr) string {
+	for {
+		paren, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = paren.X
+	}
+	return e.(*ast.BasicLit).Value
+}

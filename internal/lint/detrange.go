@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrange flags `range` statements over map-typed values. Go randomizes
+// map iteration order per run, so any computation folded over a raw map
+// range — float sums, output lines, frees into an order-sensitive
+// allocator — can differ between two executions with identical seeds,
+// which breaks the engine's bit-identical-reduce contract (DESIGN.md §5).
+//
+// The one shape allowed without annotation is the first half of the
+// repo's collect-then-sort idiom: a loop whose entire body is a single
+// append of the range variables into a slice. Everything else must
+// iterate over sorted keys or carry //ptmlint:allow(detrange) with a
+// reason (e.g. a provably order-insensitive fold).
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration whose order can leak into simulation results",
+	Run:  runDetrange,
+}
+
+func runDetrange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectLoop(rs) {
+				return true
+			}
+			p.Reportf(rs.For,
+				"range over map %s: iteration order is randomized; iterate sorted keys (see sortedCopy in internal/sim/sim.go) or annotate //ptmlint:allow(detrange) reason",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// isCollectLoop reports whether the range body is exactly one
+// `s = append(s, ...)` statement — the gather step of the
+// collect-keys-then-sort idiom, which is order-insensitive as long as the
+// slice is sorted before use (the sort itself is what detrange cannot
+// see; the idiom is audited by the paired sort call it feeds).
+func isCollectLoop(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return types.ExprString(asg.Lhs[0]) == types.ExprString(call.Args[0])
+}

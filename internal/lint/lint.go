@@ -1,0 +1,240 @@
+// Package lint is ptmlint: a static-analysis pass over the whole module
+// that enforces the simulator's determinism and address-hygiene contracts
+// at compile time (DESIGN.md §6). It is built only on the standard
+// library's go/ast, go/parser, go/token, and go/types.
+//
+// Four analyzers ship today:
+//
+//   - detrange: range over a map in non-test code is flagged unless the
+//     loop is the collect-keys-then-sort idiom or carries an annotation.
+//     Map iteration order is randomized per run, so any map-order-
+//     dependent computation breaks the engine's bit-identical-reduce
+//     contract (DESIGN.md §5).
+//   - noclock: time.Now/time.Since outside the engine's timing hook and
+//     cmd/ is flagged. Wall-clock reads inside simulation code leak
+//     host-machine state into results.
+//   - seedflow: global math/rand top-level functions are flagged, as is
+//     rand.NewSource with a seed that is not a constant, a config field,
+//     or an engine.DeriveSeed result. Every random stream must be
+//     replayable from the scenario seed alone.
+//   - archconst: raw shift/mask/scale literals of the address geometry
+//     (9, 12, 21, 511, 512, 0xFFF, 4096) outside internal/arch are
+//     flagged, pointing at the named constant to use instead.
+//
+// A finding can be waived in place with a written justification:
+//
+//	//ptmlint:allow(detrange) commutative integer sum, order-insensitive
+//
+// on the flagged line or the line directly above it. The reason text is
+// mandatory; a bare allow is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// File is the offending file, relative to the module root.
+	File string `json:"file"`
+	// Line and Col locate the violation (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Check names the analyzer that fired.
+	Check string `json:"check"`
+	// Message explains the violation and the fix.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [check] message"
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name is the check tag ([detrange], ...) and the driver flag name.
+	Name string
+	// Doc is a one-line description for the driver's usage text.
+	Doc string
+	// Run inspects pass.Pkg and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers lists every check ptmlint ships, in reporting order.
+var Analyzers = []*Analyzer{Detrange, Noclock, Seedflow, Archconst}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	// Module is the whole loaded module (for cross-package context).
+	Module *Module
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	file, err := filepath.Rel(p.Module.Root, position.Filename)
+	if err != nil {
+		file = position.Filename
+	}
+	*p.findings = append(*p.findings, Finding{
+		File:    filepath.ToSlash(file),
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// PkgNameOf resolves a selector's receiver to the imported package it
+// names, or nil when the receiver is not a bare package identifier.
+func (p *Pass) PkgNameOf(sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// allowDirective is one parsed //ptmlint:allow(check) reason comment.
+type allowDirective struct {
+	file   string // relative to module root
+	line   int
+	check  string
+	reason string
+	bad    string // non-empty if the directive is malformed
+}
+
+const directivePrefix = "//ptmlint:"
+
+// parseDirectives scans every comment of the module for ptmlint
+// directives, keyed nowhere — returned sorted by file and line so the
+// linter's own behaviour is deterministic.
+func parseDirectives(m *Module) []allowDirective {
+	var out []allowDirective
+	for _, pkg := range m.Pkgs {
+		for i, f := range pkg.Files {
+			rel, err := filepath.Rel(m.Root, pkg.Filenames[i])
+			if err != nil {
+				rel = pkg.Filenames[i]
+			}
+			rel = filepath.ToSlash(rel)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					d := parseDirective(c.Text)
+					d.file = rel
+					d.line = m.Fset.Position(c.Pos()).Line
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// parseDirective parses the text of one //ptmlint:... comment.
+func parseDirective(text string) allowDirective {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if !strings.HasPrefix(rest, "allow(") {
+		return allowDirective{bad: fmt.Sprintf("unknown ptmlint directive %q (only ptmlint:allow(check) reason is recognized)", text)}
+	}
+	rest = strings.TrimPrefix(rest, "allow(")
+	check, reason, ok := strings.Cut(rest, ")")
+	if !ok || check == "" {
+		return allowDirective{bad: fmt.Sprintf("malformed directive %q: want //ptmlint:allow(check) reason", text)}
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return allowDirective{check: check, bad: fmt.Sprintf("allow(%s) directive has no reason: a written justification is mandatory", check)}
+	}
+	return allowDirective{check: check, reason: reason}
+}
+
+// Run executes the given analyzers over every package of m and returns
+// the surviving findings sorted by file, line, and column. Findings
+// covered by a well-formed //ptmlint:allow directive on the same line or
+// the line above are suppressed; malformed directives are themselves
+// reported under the "ptmlint" check.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, pkg := range m.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Module: m, Pkg: pkg, check: a.Name, findings: &raw}
+			a.Run(pass)
+		}
+	}
+
+	directives := parseDirectives(m)
+	var out []Finding
+	for _, f := range raw {
+		if allowed(directives, f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, d := range directives {
+		if d.bad != "" {
+			out = append(out, Finding{File: d.file, Line: d.line, Col: 1, Check: "ptmlint", Message: d.bad})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// allowed reports whether a well-formed allow directive covers f.
+func allowed(directives []allowDirective, f Finding) bool {
+	for _, d := range directives {
+		if d.bad != "" || d.check != f.Check || d.file != f.File {
+			continue
+		}
+		if d.line == f.Line || d.line == f.Line-1 {
+			return true
+		}
+	}
+	return false
+}

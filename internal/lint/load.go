@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is one parsed and type-checked Go module, ready for analysis.
+type Module struct {
+	// Path is the module path declared in go.mod.
+	Path string
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Pkgs holds every package of the module, sorted by RelDir so that
+	// analysis (and therefore ptmlint's own output) is deterministic.
+	Pkgs []*Package
+}
+
+// Package is one type-checked package of the module. Only non-test files
+// are loaded: the determinism contract ptmlint enforces is about simulation
+// code, and tests are free to iterate maps or read the clock.
+type Package struct {
+	// RelDir is the package directory relative to the module root,
+	// slash-separated ("." for the root package).
+	RelDir string
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Name is the package name.
+	Name string
+	// Filenames are the absolute paths of the parsed files, aligned with
+	// Files.
+	Filenames []string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and identifier facts.
+	Info *types.Info
+
+	imports []string // module-internal import paths
+}
+
+// Load parses and type-checks every package of the module rooted at dir
+// (the directory containing go.mod). Test files, testdata trees, vendor
+// trees, and dot/underscore directories are skipped. Type checking uses
+// only the standard library: module-internal imports are served from the
+// packages checked earlier in dependency order, and standard-library
+// imports are compiled from GOROOT source.
+func Load(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet()}
+	if err := m.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parseTree walks the module tree and parses every package's non-test
+// files.
+func (m *Module) parseTree() error {
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := m.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].RelDir < m.Pkgs[j].RelDir })
+	return nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil if
+// the directory holds no Go package.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	pkg := &Package{RelDir: rel, ImportPath: m.Path}
+	if rel != "." {
+		pkg.ImportPath = m.Path + "/" + rel
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Filenames = append(pkg.Filenames, filepath.Join(dir, name))
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				pkg.imports = append(pkg.imports, path)
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// typeCheck checks every package in dependency order so that each
+// module-internal import is already available when its importer is
+// checked.
+func (m *Module) typeCheck() error {
+	byPath := make(map[string]*Package, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		byPath[p.ImportPath] = p
+	}
+	imp := &hybridImporter{
+		modPath:  m.Path,
+		internal: make(map[string]*types.Package, len(m.Pkgs)),
+		std:      importer.ForCompiler(m.Fset, "source", nil),
+	}
+
+	// Depth-first postorder over internal imports = dependency order.
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(m.Pkgs))
+	var check func(p *Package) error
+	check = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = visiting
+		for _, dep := range p.imports {
+			if dp := byPath[dep]; dp != nil {
+				if err := check(dp); err != nil {
+					return err
+				}
+			}
+		}
+		if err := m.checkPackage(p, imp); err != nil {
+			return err
+		}
+		imp.internal[p.ImportPath] = p.Types
+		state[p.ImportPath] = done
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := check(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPackage type-checks one package, collecting every checker error.
+func (m *Module) checkPackage(p *Package, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(p.ImportPath, m.Fset, p.Files, p.Info)
+	if len(errs) > 0 {
+		return fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, errors.Join(errs...))
+	}
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	p.Types = tpkg
+	return nil
+}
+
+// hybridImporter serves module-internal packages from the already-checked
+// set and everything else from standard-library source. It keeps ptmlint
+// free of network and toolchain dependencies beyond GOROOT itself.
+type hybridImporter struct {
+	modPath  string
+	internal map[string]*types.Package
+	std      types.Importer
+}
+
+func (im *hybridImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := im.internal[path]; pkg != nil {
+		return pkg, nil
+	}
+	if path == im.modPath || strings.HasPrefix(path, im.modPath+"/") {
+		return nil, fmt.Errorf("module package %s not loaded (import cycle?)", path)
+	}
+	return im.std.Import(path)
+}

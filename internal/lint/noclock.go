@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Noclock flags time.Now and time.Since calls outside the two places
+// wall-clock reads are legitimate: the engine's timing hook
+// (engine.StartTimer, which stamps scenario Events) and the cmd/ front
+// ends that print progress to a human. Anywhere else, a clock read is
+// host-machine state leaking into simulation code — exactly the class of
+// hidden input that makes two runs with identical seeds diverge.
+var Noclock = &Analyzer{
+	Name: "noclock",
+	Doc:  "flag wall-clock reads outside the engine timing hook and cmd/",
+	Run:  runNoclock,
+}
+
+// noclockExempt reports whether a package may read the wall clock
+// directly: the engine package (it owns the timing hook) and command
+// front ends (human-facing progress output).
+func noclockExempt(relDir string) bool {
+	return relDir == "internal/engine" || relDir == "cmd" || strings.HasPrefix(relDir, "cmd/")
+}
+
+func runNoclock(p *Pass) {
+	if noclockExempt(p.Pkg.RelDir) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Now" && name != "Since" {
+				return true
+			}
+			pkg := p.PkgNameOf(sel)
+			if pkg == nil || pkg.Path() != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s in simulation code: route wall-clock measurement through engine.StartTimer (the engine's timing hook) or annotate //ptmlint:allow(noclock) reason",
+				name)
+			return true
+		})
+	}
+}

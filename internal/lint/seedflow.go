@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedflow enforces that every random stream is replayable from the
+// scenario configuration alone. Two things break that:
+//
+//   - the global math/rand source (rand.Intn, rand.Seed, ...), which is
+//     shared process-wide state seeded outside the scenario; and
+//   - rand.NewSource seeded from anything that is not a constant, a
+//     config field (a selector whose field name contains "Seed"), a
+//     seed-named local/parameter, or an engine.DeriveSeed result.
+//
+// Constructing generators (rand.New, rand.NewZipf) is fine — it is the
+// seed provenance that matters.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "flag global math/rand use and rand.NewSource seeds of unknown provenance",
+	Run:  runSeedflow,
+}
+
+// seedflowConstructors are the math/rand top-level functions that build
+// explicitly-seeded generators rather than touching the global source.
+var seedflowConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeedflow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := p.PkgNameOf(sel)
+			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if !seedflowConstructors[name] {
+				p.Reportf(call.Pos(),
+					"rand.%s uses the process-global source: build a per-scenario generator with rand.New(rand.NewSource(seed)) instead",
+					name)
+				return true
+			}
+			if name == "NewSource" && len(call.Args) == 1 && !seedOK(p, call.Args[0]) {
+				p.Reportf(call.Pos(),
+					"rand.NewSource seed %s is not a constant, a config Seed field, or an engine.DeriveSeed result: seeds must be replayable from the scenario config",
+					types.ExprString(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// seedOK reports whether a seed expression has acceptable provenance:
+// constants, Seed-named fields or variables, engine.DeriveSeed calls,
+// conversions of any of those, and arithmetic over them (the historical
+// pre-engine seed formulas are `seed + k`).
+func seedOK(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return seedOK(p, e.X)
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "seed")
+	case *ast.BinaryExpr:
+		return seedOK(p, e.X) || seedOK(p, e.Y)
+	case *ast.UnaryExpr:
+		return seedOK(p, e.X)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "DeriveSeed" {
+			return true
+		}
+		// A type conversion wraps exactly one operand; look through it.
+		if tv, ok := p.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return seedOK(p, e.Args[0])
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Fixture for the archconst analyzer: raw address-geometry literals
+// outside internal/arch are flagged with the named constant to use.
+package vm
+
+// PageOf shifts by a raw page shift — flagged.
+func PageOf(addr uint64) uint64 {
+	return addr >> 12 // want `\[archconst\] raw shift amount 12 .*arch\.PageShift`
+}
+
+// Offset masks with a raw page mask — flagged.
+func Offset(addr uint64) uint64 {
+	return addr & 0xFFF // want `\[archconst\] raw mask 0xFFF .*arch\.PageMask`
+}
+
+// LeafIndex combines a raw shift and a raw index mask — two findings on
+// one line.
+func LeafIndex(addr uint64) uint64 {
+	return (addr >> 21) & 511 // want `\[archconst\] raw shift amount 21` `\[archconst\] raw mask 511`
+}
+
+// ZeroCost scales by the PT fan-out — flagged.
+func ZeroCost(pages uint64) uint64 {
+	return pages * 512 // want `\[archconst\] raw scale factor 512`
+}
+
+// WordOf divides by words-per-page — flagged.
+func WordOf(cursor uint64) uint64 {
+	return cursor / 512 % 4096 // want `\[archconst\] raw scale factor 512` `\[archconst\] raw scale factor 4096`
+}
+
+// MemSize is a byte-size expression, not address arithmetic: 512 on the
+// left of a shift means 512MB — not flagged.
+func MemSize() uint64 {
+	return 512 << 20
+}
+
+// Waived keeps a raw literal with a justification — suppressed.
+func Waived(addr uint64) uint64 {
+	//ptmlint:allow(archconst) fixture demonstrates the escape hatch
+	return addr >> 12
+}

@@ -1,0 +1,73 @@
+// Fixture for the detrange analyzer: each `// want` comment asserts a
+// finding on its line; lines without one must stay clean.
+package sim
+
+import "sort"
+
+// Counts is a named map type; detrange sees through it to the underlying
+// map.
+type Counts map[string]int
+
+// RawSum folds over a raw map range — flagged.
+func RawSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `\[detrange\] range over map m`
+		total += v
+	}
+	return total
+}
+
+// NamedRange ranges a named map type — still flagged.
+func NamedRange(c Counts) int {
+	n := 0
+	for range c { // want `\[detrange\] range over map c`
+		n++
+	}
+	return n
+}
+
+// MultiStmt collects keys but does extra work in the loop — flagged (the
+// extra statement could be order-sensitive).
+func MultiStmt(m map[string]int) ([]string, int) {
+	var keys []string
+	total := 0
+	for k, v := range m { // want `\[detrange\] range over map m`
+		keys = append(keys, k)
+		total += v
+	}
+	return keys, total
+}
+
+// SortedSum is the collect-then-sort idiom: the gather loop is allowed,
+// the ordered loop ranges a slice.
+func SortedSum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Waived carries a justified annotation — suppressed.
+func Waived(m map[string]int) int {
+	total := 0
+	//ptmlint:allow(detrange) commutative integer sum, order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SliceRange ranges a slice — never flagged.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Fixture for the noclock analyzer: simulation packages must not read
+// the wall clock directly.
+package sim
+
+import "time"
+
+// Stamp reads the clock inside a simulation package — flagged.
+func Stamp() time.Time {
+	return time.Now() // want `\[noclock\] time\.Now in simulation code`
+}
+
+// Elapsed measures with time.Since — flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[noclock\] time\.Since in simulation code`
+}
+
+// Waived reads the clock with a justified annotation — suppressed.
+func Waived() time.Time {
+	//ptmlint:allow(noclock) fixture demonstrates the escape hatch
+	return time.Now()
+}
+
+// Sleepy uses other time functions — not flagged (only Now/Since read
+// host state that leaks into measurements).
+func Sleepy(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d)
+}

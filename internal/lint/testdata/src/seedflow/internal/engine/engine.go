@@ -1,0 +1,8 @@
+// Stand-in for the real engine package: DeriveSeed is the blessed way to
+// derive per-scenario seeds.
+package engine
+
+// DeriveSeed mirrors the real engine's seed derivation.
+func DeriveSeed(base int64, name string) int64 {
+	return base ^ int64(len(name))
+}

@@ -1,0 +1,46 @@
+// Fixture for the seedflow analyzer: random streams must be replayable
+// from the scenario configuration.
+package sim
+
+import (
+	"math/rand"
+
+	"fixture/internal/engine"
+)
+
+// Config carries the scenario seed.
+type Config struct {
+	Seed int64
+}
+
+// Good builds generators with acceptable seed provenance — none flagged.
+func Good(cfg Config, seed int64) []*rand.Rand {
+	return []*rand.Rand{
+		rand.New(rand.NewSource(42)),                                // constant
+		rand.New(rand.NewSource(cfg.Seed)),                          // config field
+		rand.New(rand.NewSource(seed + 3)),                          // historical seed formula
+		rand.New(rand.NewSource(int64(uint64(cfg.Seed)))),           // conversion of a config field
+		rand.New(rand.NewSource(engine.DeriveSeed(cfg.Seed, "wk"))), // derived
+	}
+}
+
+// GlobalDraw uses the process-global source — flagged.
+func GlobalDraw() int {
+	return rand.Intn(8) // want `\[seedflow\] rand\.Intn uses the process-global source`
+}
+
+// GlobalShuffle also touches the global source — flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `\[seedflow\] rand\.Shuffle uses the process-global source`
+}
+
+// UnknownSeed seeds from a value with no config provenance — flagged.
+func UnknownSeed(counter int64) *rand.Rand {
+	return rand.New(rand.NewSource(counter)) // want `\[seedflow\] rand\.NewSource seed counter is not a constant`
+}
+
+// Waived seeds from an annotated source — suppressed.
+func Waived(counter int64) *rand.Rand {
+	//ptmlint:allow(seedflow) fixture demonstrates the escape hatch
+	return rand.New(rand.NewSource(counter))
+}

@@ -59,9 +59,18 @@ func HostPTFragmentation(gpt, hpt *pagetable.Table) FragReport {
 		gi.pages++
 		return true
 	})
+	// Fold in ascending block order: float addition is not associative,
+	// so summing in map-iteration order could flip low bits of Mean
+	// between runs.
+	blocks := make([]uint64, 0, len(groups))
+	for b := range groups {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 	var rep FragReport
 	var sum float64
-	for _, gi := range groups {
+	for _, b := range blocks {
+		gi := groups[b]
 		if gi.pages < 2 {
 			continue
 		}

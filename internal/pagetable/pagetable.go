@@ -14,6 +14,7 @@ package pagetable
 
 import (
 	"fmt"
+	"sort"
 
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/physmem"
@@ -514,7 +515,15 @@ func (t *Table) walkNode(nodePA arch.PhysAddr, level int, prefix uint64, fn func
 // not be used afterwards. Mapped data frames are not freed — the owning
 // kernel frees those according to its own bookkeeping.
 func (t *Table) Destroy() {
+	// Free in ascending frame order: the buddy allocator's free lists
+	// remember insertion order, so freeing in map-iteration order would
+	// make every later allocation depend on this map's randomized layout.
+	pas := make([]arch.PhysAddr, 0, len(t.nodes))
 	for pa := range t.nodes {
+		pas = append(pas, pa)
+	}
+	sort.Slice(pas, func(i, j int) bool { return pas[i] < pas[j] })
+	for _, pa := range pas {
 		t.mem.FreeBlock(pa)
 	}
 	t.nodes = nil

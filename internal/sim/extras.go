@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/core"
@@ -282,6 +281,8 @@ type LockingResult struct {
 // wall-clock throughput. This is real concurrency, not simulated time —
 // it spawns its own goroutines and therefore bypasses the scenario
 // engine (nesting it inside a worker pool would skew the measurement).
+// The clock itself is still read through engine.StartTimer, the one
+// timing hook the noclock contract permits below cmd/.
 func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 	measure := func(coarse bool) float64 {
 		part := core.New(core.Config{GroupPages: arch.GroupPages, CoarseLocking: coarse})
@@ -292,7 +293,7 @@ func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 			defer memMu.Unlock()
 			return mem.AllocGroup(arch.GroupPages, physmem.KindReserved, 1)
 		}
-		start := time.Now()
+		elapsed := engine.StartTimer()
 		var wg sync.WaitGroup
 		for g := 0; g < goroutines; g++ {
 			wg.Add(1)
@@ -308,7 +309,7 @@ func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 			}(g)
 		}
 		wg.Wait()
-		return float64(time.Since(start).Nanoseconds()) / float64(goroutines*faultsEach)
+		return float64(elapsed().Nanoseconds()) / float64(goroutines*faultsEach)
 	}
 	return LockingResult{
 		Goroutines:    goroutines,
@@ -609,7 +610,7 @@ func thpEntry(name string, def, thp Result) THPEntry {
 		RSSDefaultPages: def.FootprintPages,
 	}
 	if thp.FootprintPages > 0 {
-		e.THPCoverage = float64(thp.LargeMappings*512) / float64(thp.FootprintPages)
+		e.THPCoverage = float64(thp.LargeMappings*arch.PTEntriesPerNode) / float64(thp.FootprintPages)
 	}
 	return e
 }

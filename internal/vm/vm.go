@@ -84,9 +84,9 @@ func (c CostModel) faultCost(kind guestos.FaultKind) uint64 {
 		// A targeted AllocAt costs about as much as a stock buddy call.
 		return c.TrapCycles + c.BuddyPageCycles + c.ZeroPageCycles
 	case guestos.FaultTHP:
-		// One trap and one order-9 buddy call, but the whole 2MB must be
-		// zeroed up front.
-		return c.TrapCycles + c.BuddyGroupCycles + 512*c.ZeroPageCycles
+		// One trap and one order-9 buddy call, but all 512 constituent
+		// pages (one full PT node's worth) must be zeroed up front.
+		return c.TrapCycles + c.BuddyGroupCycles + arch.PTEntriesPerNode*c.ZeroPageCycles
 	default:
 		return c.TrapCycles
 	}

@@ -256,7 +256,7 @@ func (f *smallFunction) Step(env Env) (Access, bool) {
 	if f.rng.Float64() < 0.2 {
 		page = f.rng.Uint64() % f.heap.pageCount()
 	}
-	return Access{VA: f.heap.pageVA(page) + arch.VirtAddr(f.rng.Intn(512)*8)}, false
+	return Access{VA: f.heap.pageVA(page) + arch.VirtAddr(f.rng.Intn(arch.WordsPerPage)*arch.WordBytes)}, false
 }
 
 // ---------------------------------------------------------------------------

@@ -197,11 +197,11 @@ func (g *graphKernel) Step(env Env) (Access, bool) {
 	// destination-rank write (sequential).
 	switch g.step % 4 {
 	case 0:
-		page := (g.cursor / 512) % g.offsets.pageCount()
-		return Access{VA: g.offsets.pageVA(page) + arch.VirtAddr(g.cursor%512*8)}, false
+		page := (g.cursor / arch.WordsPerPage) % g.offsets.pageCount()
+		return Access{VA: g.offsets.pageVA(page) + arch.VirtAddr(g.cursor%arch.WordsPerPage*arch.WordBytes)}, false
 	case 1:
 		page := (g.cursor / 8) % g.edges.pageCount()
-		return Access{VA: g.edges.pageVA(page) + arch.VirtAddr(g.cursor%512*8)}, false
+		return Access{VA: g.edges.pageVA(page) + arch.VirtAddr(g.cursor%arch.WordsPerPage*arch.WordBytes)}, false
 	case 2:
 		var page uint64
 		if g.rng.Float64() < g.cfg.Locality {
@@ -212,10 +212,10 @@ func (g *graphKernel) Step(env Env) (Access, bool) {
 			page = g.rng.Uint64() % g.src.pageCount()
 		}
 		g.lastRand = page
-		return Access{VA: g.src.pageVA(page) + arch.VirtAddr(g.rng.Intn(512)*8)}, false
+		return Access{VA: g.src.pageVA(page) + arch.VirtAddr(g.rng.Intn(arch.WordsPerPage)*arch.WordBytes)}, false
 	default:
 		page := (g.cursor / 16) % g.dst.pageCount()
-		return Access{VA: g.dst.pageVA(page) + arch.VirtAddr(g.cursor%512*8), Write: true}, false
+		return Access{VA: g.dst.pageVA(page) + arch.VirtAddr(g.cursor%arch.WordsPerPage*arch.WordBytes), Write: true}, false
 	}
 }
 
@@ -327,7 +327,7 @@ func (m *mcf) Step(env Env) (Access, bool) {
 	if m.burst > 0 {
 		// A few field accesses within the current node's page.
 		m.burst--
-		return Access{VA: m.arena.pageVA(m.pos) + arch.VirtAddr(m.rng.Intn(512)*8), Write: m.burst == 0}, false
+		return Access{VA: m.arena.pageVA(m.pos) + arch.VirtAddr(m.rng.Intn(arch.WordsPerPage)*arch.WordBytes), Write: m.burst == 0}, false
 	}
 	// Follow the "pointer": jump to a pseudo-random page derived from the
 	// current one (a fixed permutation, so revisits do occur).
@@ -397,11 +397,11 @@ func (p *mixProgram) Step(env Env) (Access, bool) {
 	p.step++
 	if p.rng.Float64() < p.randomFrac {
 		page := p.rng.Uint64() % p.arena.pageCount()
-		return Access{VA: p.arena.pageVA(page) + arch.VirtAddr(p.rng.Intn(512)*8)}, false
+		return Access{VA: p.arena.pageVA(page) + arch.VirtAddr(p.rng.Intn(arch.WordsPerPage)*arch.WordBytes)}, false
 	}
 	p.seq++
 	page := (p.seq / 64) % p.hotPages
-	return Access{VA: p.arena.pageVA(page) + arch.VirtAddr(p.seq%512*8), Write: p.seq%4 == 0}, false
+	return Access{VA: p.arena.pageVA(page) + arch.VirtAddr(p.seq%arch.WordsPerPage*arch.WordBytes), Write: p.seq%4 == 0}, false
 }
 
 // xz models LZMA compression: a streaming input plus match copies that jump
@@ -468,5 +468,5 @@ func (x *xz) Step(env Env) (Access, bool) {
 	// Streaming input (sequential writes).
 	x.inPos++
 	page := (x.inPos / 32) % x.window.pageCount()
-	return Access{VA: x.window.pageVA(page) + arch.VirtAddr(x.inPos%512*8), Write: true}, false
+	return Access{VA: x.window.pageVA(page) + arch.VirtAddr(x.inPos%arch.WordsPerPage*arch.WordBytes), Write: true}, false
 }
