@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments
+.PHONY: all build vet lint test race bench bench-smoke experiments
 
 all: build vet lint test
 
@@ -26,8 +26,21 @@ test:
 race:
 	$(GO) test -race ./internal/engine ./internal/sim
 
+# The Pipeline* benchmarks track the batched hot path against the legacy
+# one-access adapter at three layers (workload step, walker fast path, full
+# machine loop). BENCH_pipeline.json is committed so future changes have a
+# perf trajectory to diff against.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Pipeline' -benchtime=2s -run=^$$ -json \
+		./internal/workload ./internal/nested ./internal/vm . \
+		> BENCH_pipeline.json
+
+# Compile-and-run rot check for the bench harness; single iteration, no
+# timing claims.
+bench-smoke:
+	$(GO) test -bench='Pipeline' -benchtime=1x -run=^$$ \
+		./internal/workload ./internal/nested ./internal/vm .
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	part := ptemagnet.NewPaRT(ptemagnet.DefaultPaRTConfig())
+	part, err := ptemagnet.NewPaRT(ptemagnet.DefaultPaRTConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	mem := physmem.New(64 << 20) // 64MB of simulated guest-physical memory
 	alloc := func() (ptemagnet.PhysAddr, bool) {
 		return mem.AllocGroup(ptemagnet.GroupPages, physmem.KindReserved, 1)

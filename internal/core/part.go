@@ -129,16 +129,54 @@ type PaRT struct {
 	stats   Stats
 }
 
-// New creates an empty PaRT.
-func New(cfg Config) *PaRT {
-	if cfg.GroupPages <= 0 || cfg.GroupPages > 64 || !arch.IsPowerOfTwo(uint64(cfg.GroupPages)) {
-		panic(fmt.Sprintf("core: group of %d pages is not a power of two in [1,64]", cfg.GroupPages))
+// ConfigError reports an invalid configuration field: which field, the
+// offending value, and the constraint it violates. Both the PaRT and the
+// machine layer (vm.Config) return it from their Validate methods.
+type ConfigError struct {
+	// Field names the offending configuration field (e.g. "GroupPages").
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason states the violated constraint.
+	Reason string
+}
+
+// Error renders the violation.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("invalid config: %s = %v (%s)", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks cfg and returns a *ConfigError describing the first
+// violation, or nil. GroupPages must be set explicitly — use
+// DefaultConfig for the paper's design point.
+func (c Config) Validate() error {
+	if c.GroupPages <= 0 || c.GroupPages > 64 || !arch.IsPowerOfTwo(uint64(c.GroupPages)) {
+		return &ConfigError{Field: "GroupPages", Value: c.GroupPages,
+			Reason: "must be a power of two in [1, 64]"}
+	}
+	return nil
+}
+
+// New creates an empty PaRT, rejecting invalid configurations with a
+// *ConfigError.
+func New(cfg Config) (*PaRT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	shift := uint(arch.PageShift)
 	for p := cfg.GroupPages; p > 1; p >>= 1 {
 		shift++
 	}
-	return &PaRT{cfg: cfg, groupShift: shift, root: &radixNode{}}
+	return &PaRT{cfg: cfg, groupShift: shift, root: &radixNode{}}, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics on error.
+func MustNew(cfg Config) *PaRT {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
 }
 
 // Config returns the table's configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -18,23 +19,40 @@ func testAlloc(mem *physmem.Memory, groupPages int) func() (arch.PhysAddr, bool)
 
 func newPart(t *testing.T) (*PaRT, *physmem.Memory) {
 	t.Helper()
-	return New(DefaultConfig()), physmem.New(64 << 20)
+	return MustNew(DefaultConfig()), physmem.New(64 << 20)
 }
 
 func TestConfigValidation(t *testing.T) {
 	for _, bad := range []int{0, -1, 3, 65, 128} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("GroupPages=%d did not panic", bad)
-				}
-			}()
-			New(Config{GroupPages: bad})
-		}()
+		cfg := Config{GroupPages: bad}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(GroupPages=%d) = nil, want error", bad)
+		}
+		p, err := New(cfg)
+		if err == nil || p != nil {
+			t.Errorf("New(GroupPages=%d) = %v, %v; want nil, error", bad, p, err)
+		}
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("New(GroupPages=%d) error %v is not a *ConfigError", bad, err)
+		} else if cerr.Field != "GroupPages" {
+			t.Errorf("ConfigError.Field = %q, want GroupPages", cerr.Field)
+		}
 	}
 	for _, good := range []int{1, 2, 4, 8, 16, 32, 64} {
-		New(Config{GroupPages: good})
+		if _, err := New(Config{GroupPages: good}); err != nil {
+			t.Errorf("New(GroupPages=%d) failed: %v", good, err)
+		}
 	}
+}
+
+func TestMustNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(GroupPages=3) did not panic")
+		}
+	}()
+	MustNew(Config{GroupPages: 3})
 }
 
 func TestFirstFaultCreatesReservation(t *testing.T) {
@@ -128,7 +146,7 @@ func TestContiguityGuarantee(t *testing.T) {
 }
 
 func TestHandleFaultNoMemory(t *testing.T) {
-	p := New(DefaultConfig())
+	p := MustNew(DefaultConfig())
 	pa, res := p.HandleFault(0x1000, func() (arch.PhysAddr, bool) { return arch.NoPhysAddr, false })
 	if res != FaultNoMemory || pa != arch.NoPhysAddr {
 		t.Errorf("result = %#x,%v", pa, res)
@@ -139,7 +157,7 @@ func TestHandleFaultNoMemory(t *testing.T) {
 }
 
 func TestMisalignedAllocPanics(t *testing.T) {
-	p := New(DefaultConfig())
+	p := MustNew(DefaultConfig())
 	defer func() {
 		if recover() == nil {
 			t.Error("misaligned reservation base did not panic")
@@ -316,7 +334,7 @@ func TestFaultAfterReclaimCreatesFreshReservation(t *testing.T) {
 
 func TestGranularitySweepGroupSizes(t *testing.T) {
 	for _, gp := range []int{1, 2, 4, 16, 32} {
-		p := New(Config{GroupPages: gp})
+		p := MustNew(Config{GroupPages: gp})
 		mem := physmem.New(64 << 20)
 		base := arch.VirtAddr(0x40000000)
 		pa0, res := p.HandleFault(base, testAlloc(mem, gp))
@@ -369,7 +387,7 @@ func TestConcurrentFaultsOneGroupPerThreadSafe(t *testing.T) {
 	// Many goroutines fault concurrently into disjoint and shared groups;
 	// invariants: each page claimed exactly once, all groups contiguous.
 	for _, coarse := range []bool{false, true} {
-		p := New(Config{GroupPages: 8, CoarseLocking: coarse})
+		p := MustNew(Config{GroupPages: 8, CoarseLocking: coarse})
 		var mu sync.Mutex
 		mem := physmem.New(256 << 20)
 		alloc := func() (arch.PhysAddr, bool) {
@@ -419,7 +437,7 @@ func TestConcurrentFaultsOneGroupPerThreadSafe(t *testing.T) {
 // sum over live reservations of (GroupPages - popcount(mask)).
 func TestQuickUnusedPagesInvariant(t *testing.T) {
 	f := func(pageIdxs []uint16) bool {
-		p := New(DefaultConfig())
+		p := MustNew(DefaultConfig())
 		mem := physmem.New(128 << 20)
 		seen := map[arch.VirtAddr]bool{}
 		for _, raw := range pageIdxs {
@@ -452,7 +470,7 @@ func TestQuickUnusedPagesInvariant(t *testing.T) {
 }
 
 func BenchmarkHandleFaultNewReservation(b *testing.B) {
-	p := New(DefaultConfig())
+	p := MustNew(DefaultConfig())
 	mem := physmem.New(1 << 30)
 	alloc := testAlloc(mem, 8)
 	b.ResetTimer()
@@ -467,7 +485,7 @@ func BenchmarkHandleFaultNewReservation(b *testing.B) {
 }
 
 func BenchmarkHandleFaultHit(b *testing.B) {
-	p := New(DefaultConfig())
+	p := MustNew(DefaultConfig())
 	mem := physmem.New(1 << 24)
 	alloc := testAlloc(mem, 8)
 	base := arch.VirtAddr(0x40000000)
@@ -485,7 +503,7 @@ func TestConcurrentFaultsFreesAndReclaim(t *testing.T) {
 	// PaRT concurrently; the gauges must stay consistent and nothing may
 	// be double-released (the backing physmem panics on double free).
 	for _, coarse := range []bool{false, true} {
-		p := New(Config{GroupPages: 8, CoarseLocking: coarse})
+		p := MustNew(Config{GroupPages: 8, CoarseLocking: coarse})
 		mem := physmem.New(256 << 20)
 		var memMu sync.Mutex
 		alloc := func() (arch.PhysAddr, bool) {
@@ -627,7 +645,7 @@ func TestFaultResultStrings(t *testing.T) {
 }
 
 func TestFullMask64(t *testing.T) {
-	p := New(Config{GroupPages: 64})
+	p := MustNew(Config{GroupPages: 64})
 	mem := physmem.New(128 << 20)
 	base := arch.VirtAddr(0x40000000)
 	for i := 0; i < 64; i++ {
@@ -642,7 +660,7 @@ func TestFullMask64(t *testing.T) {
 }
 
 func TestKeySpacePanic(t *testing.T) {
-	p := New(DefaultConfig())
+	p := MustNew(DefaultConfig())
 	defer func() {
 		if recover() == nil {
 			t.Error("address beyond key space did not panic")
@@ -652,7 +670,7 @@ func TestKeySpacePanic(t *testing.T) {
 }
 
 func TestCoarseLockingNotifyAndClaim(t *testing.T) {
-	p := New(Config{GroupPages: 8, CoarseLocking: true})
+	p := MustNew(Config{GroupPages: 8, CoarseLocking: true})
 	mem := physmem.New(64 << 20)
 	base := arch.VirtAddr(0x40000000)
 	pa0, _ := p.HandleFault(base, testAlloc(mem, 8))

@@ -283,7 +283,11 @@ func (k *Kernel) Spawn(name string, memLimit uint64) (*Process, error) {
 		alive:    true,
 	}
 	if k.magnetEnabledFor(p) {
-		p.part = core.New(k.cfg.Magnet)
+		part, err := core.New(k.cfg.Magnet)
+		if err != nil {
+			return nil, fmt.Errorf("guestos: spawn %q: %w", name, err)
+		}
+		p.part = part
 	}
 	k.procs = append(k.procs, p)
 	return p, nil

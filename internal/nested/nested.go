@@ -235,6 +235,23 @@ func pwcKey(a uint64) uint64 { return a >> (arch.PageShift + arch.PTIndexBits) }
 // given ASID and guest page table, on behalf of cpu. write marks stores so
 // read-only (COW) mappings fault.
 func (w *Walker) Translate(cpu int, asid uint32, gpt *pagetable.Table, va arch.VirtAddr, write bool) Outcome {
+	if out, ok := w.TranslateFast(asid, va, write); ok {
+		return out
+	}
+	return w.walk(cpu, asid, gpt, va, write)
+}
+
+// TranslateFast is the main-TLB fast path: it probes the TLB and, on a hit
+// with sufficient permissions, returns the completed Outcome without
+// touching any of the 2D-walk machinery (guest page table, PWCs, nested
+// TLB, caches). ok=false means the caller must take TranslateSlow — either
+// a plain miss, or a write to a cached read-only translation (the stale
+// entry is dropped so the walk reaches the guest fault path).
+//
+// TranslateFast followed by TranslateSlow performs exactly the probe and
+// counter updates of Translate; the machine's batched loop relies on that
+// equivalence.
+func (w *Walker) TranslateFast(asid uint32, va arch.VirtAddr, write bool) (Outcome, bool) {
 	w.stats.Lookups++
 	vpn := va.PageNumber()
 	if payload, ok := w.tlb.Lookup(asid, vpn); ok {
@@ -245,11 +262,19 @@ func (w *Walker) Translate(cpu int, asid uint32, gpt *pagetable.Table, va arch.V
 				Ok:     true,
 				TLBHit: true,
 				Cycles: w.cfg.TLBHitCycles,
-			}
+			}, true
 		}
 		// Write to a read-only translation: force the fault path.
 		w.tlb.InvalidatePage(asid, vpn)
 	}
+	return Outcome{}, false
+}
+
+// TranslateSlow performs the full 2D walk after a failed TranslateFast.
+// Callers must have tried TranslateFast first — the pair preserves the
+// stats contract of Translate (every walk is preceded by one counted
+// lookup).
+func (w *Walker) TranslateSlow(cpu int, asid uint32, gpt *pagetable.Table, va arch.VirtAddr, write bool) Outcome {
 	return w.walk(cpu, asid, gpt, va, write)
 }
 
@@ -372,6 +397,16 @@ func (w *Walker) translateGPA(cpu int, gpa arch.PhysAddr) (arch.PhysAddr, uint64
 // TLB. The guest kernel's unmap/COW paths call this, mirroring INVLPG.
 func (w *Walker) InvalidatePage(asid uint32, va arch.VirtAddr) {
 	w.tlb.InvalidatePage(asid, va.PageNumber())
+}
+
+// InvalidateRange drops the translations for every page of [start, end)
+// from the main TLB — the shootdown behind a ranged free. end must be
+// page-aligned. State-identical to per-page InvalidatePage calls.
+func (w *Walker) InvalidateRange(asid uint32, start, end arch.VirtAddr) {
+	if end <= start {
+		return
+	}
+	w.tlb.InvalidateRange(asid, start.PageNumber(), end.PageNumber())
 }
 
 // InvalidateASID drops all of a process's translations (process exit).

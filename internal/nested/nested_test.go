@@ -20,7 +20,7 @@ type rig struct {
 	w        *Walker
 }
 
-func newRig(t *testing.T, cfg Config) *rig {
+func newRig(t testing.TB, cfg Config) *rig {
 	t.Helper()
 	host := hostos.NewKernel(256 << 20)
 	vm, err := host.CreateVM(64 << 20)

@@ -122,11 +122,6 @@ func RunTable1Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (
 	return engine.Execute(ctx, e, Table1Set(sc, seed))
 }
 
-// RunTable1 reproduces Table 1.
-func RunTable1(sc Scale, seed int64) (Table1Result, error) {
-	return RunTable1Ctx(context.Background(), nil, sc, seed)
-}
-
 func dataMemServed(r Result) uint64 {
 	return r.Task.SteadyDataServed[len(r.Task.SteadyDataServed)-1]
 }
@@ -263,21 +258,9 @@ func RunObjdetSuiteCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int
 	return engine.Execute(ctx, e, ObjdetSuiteSet(sc, seed))
 }
 
-// RunObjdetSuite reproduces Figures 5 and 6: every benchmark colocated with
-// objdet, default vs PTEMagnet, averaged over SuiteRepeats seeds.
-func RunObjdetSuite(sc Scale, seed int64) (SuiteResult, error) {
-	return RunObjdetSuiteCtx(context.Background(), nil, sc, seed)
-}
-
 // RunCombinationSuiteCtx reproduces Figure 7 through the given engine.
 func RunCombinationSuiteCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (SuiteResult, error) {
 	return engine.Execute(ctx, e, CombinationSuiteSet(sc, seed))
-}
-
-// RunCombinationSuite reproduces Figure 7: every benchmark colocated with
-// the full Table 3 co-runner combination, averaged over SuiteRepeats seeds.
-func RunCombinationSuite(sc Scale, seed int64) (SuiteResult, error) {
-	return RunCombinationSuiteCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the suite as the two paper charts: fragmentation (Fig 5)
@@ -339,11 +322,6 @@ func Table4Set(sc Scale, seed int64) engine.Set[Result, Table4Result] {
 // RunTable4Ctx reproduces Table 4 through the given engine.
 func RunTable4Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Table4Result, error) {
 	return engine.Execute(ctx, e, Table4Set(sc, seed))
-}
-
-// RunTable4 reproduces Table 4.
-func RunTable4(sc Scale, seed int64) (Table4Result, error) {
-	return RunTable4Ctx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.

@@ -78,11 +78,6 @@ func RunSec62Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (S
 	return engine.Execute(ctx, e, Sec62Set(sc, seed))
 }
 
-// RunSec62 reproduces the §6.2 study.
-func RunSec62(sc Scale, seed int64) (Sec62Result, error) {
-	return RunSec62Ctx(context.Background(), nil, sc, seed)
-}
-
 func sec62Entry(name string, res Result) Sec62Entry {
 	e := Sec62Entry{
 		Benchmark:      name,
@@ -161,11 +156,6 @@ func Sec64Set(sc Scale, seed int64) engine.Set[Result, Sec64Result] {
 // RunSec64Ctx reproduces the §6.4 microbenchmark through the given engine.
 func RunSec64Ctx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (Sec64Result, error) {
 	return engine.Execute(ctx, e, Sec64Set(sc, seed))
-}
-
-// RunSec64 reproduces the §6.4 microbenchmark.
-func RunSec64(sc Scale, seed int64) (Sec64Result, error) {
-	return RunSec64Ctx(context.Background(), nil, sc, seed)
 }
 
 // Speedup uses whole-run cycles here: the entire microbenchmark is the
@@ -250,11 +240,6 @@ func RunGranularityCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int
 	return engine.Execute(ctx, e, GranularitySet(sc, seed))
 }
 
-// RunGranularity sweeps GroupPages over pagerank + objdet.
-func RunGranularity(sc Scale, seed int64) (GranularityResult, error) {
-	return RunGranularityCtx(context.Background(), nil, sc, seed)
-}
-
 // String renders the sweep.
 func (r GranularityResult) String() string {
 	var b strings.Builder
@@ -285,7 +270,7 @@ type LockingResult struct {
 // timing hook the noclock contract permits below cmd/.
 func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 	measure := func(coarse bool) float64 {
-		part := core.New(core.Config{GroupPages: arch.GroupPages, CoarseLocking: coarse})
+		part := core.MustNew(core.Config{GroupPages: arch.GroupPages, CoarseLocking: coarse})
 		mem := physmem.New(1 << 30)
 		var memMu sync.Mutex
 		alloc := func() (arch.PhysAddr, bool) {
@@ -385,11 +370,6 @@ func ReclaimSweepSet(sc Scale, seed int64) engine.Set[Result, ReclaimResult] {
 // RunReclaimSweepCtx runs the sweep through the given engine.
 func RunReclaimSweepCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (ReclaimResult, error) {
 	return engine.Execute(ctx, e, ReclaimSweepSet(sc, seed))
-}
-
-// RunReclaimSweep sweeps the reclaim watermark.
-func RunReclaimSweep(sc Scale, seed int64) (ReclaimResult, error) {
-	return RunReclaimSweepCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the sweep.
@@ -548,12 +528,6 @@ func RunCAPagingComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, s
 	return engine.Execute(ctx, e, CAPagingSet(sc, seed))
 }
 
-// RunCAPagingComparison runs pagerank at three colocation levels under the
-// default allocator, CA paging, and PTEMagnet.
-func RunCAPagingComparison(sc Scale, seed int64) (CAPagingResult, error) {
-	return RunCAPagingComparisonCtx(context.Background(), nil, sc, seed)
-}
-
 // String renders the comparison.
 func (r CAPagingResult) String() string {
 	var b strings.Builder
@@ -673,12 +647,6 @@ func RunTHPComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, seed i
 	return engine.Execute(ctx, e, THPSet(sc, seed))
 }
 
-// RunTHPComparison runs pagerank at rising colocation pressure under the
-// default allocator, THP, and PTEMagnet.
-func RunTHPComparison(sc Scale, seed int64) (THPResult, error) {
-	return RunTHPComparisonCtx(context.Background(), nil, sc, seed)
-}
-
 // String renders the comparison.
 func (r THPResult) String() string {
 	var b strings.Builder
@@ -752,12 +720,6 @@ func FiveLevelSet(sc Scale, seed int64) engine.Set[Result, FiveLevelResult] {
 // RunFiveLevelComparisonCtx runs the comparison through the given engine.
 func RunFiveLevelComparisonCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (FiveLevelResult, error) {
 	return engine.Execute(ctx, e, FiveLevelSet(sc, seed))
-}
-
-// RunFiveLevelComparison runs pagerank + objdet at both depths under both
-// policies.
-func RunFiveLevelComparison(sc Scale, seed int64) (FiveLevelResult, error) {
-	return RunFiveLevelComparisonCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the comparison.
@@ -846,12 +808,6 @@ func LowPressureSet(sc Scale, seed int64) engine.Set[Result, LowPressureResult] 
 // RunLowPressureCtx runs the study through the given engine.
 func RunLowPressureCtx(ctx context.Context, e *engine.Engine, sc Scale, seed int64) (LowPressureResult, error) {
 	return engine.Execute(ctx, e, LowPressureSet(sc, seed))
-}
-
-// RunLowPressure runs small-footprint variants (working sets within TLB
-// reach) of three benchmarks under both policies, colocated with objdet.
-func RunLowPressure(sc Scale, seed int64) (LowPressureResult, error) {
-	return RunLowPressureCtx(context.Background(), nil, sc, seed)
 }
 
 // String renders the study.

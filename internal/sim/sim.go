@@ -231,11 +231,6 @@ func BuildMachine(s Scenario) (*vm.Machine, error) {
 	return m, nil
 }
 
-// Run executes one scenario.
-func Run(s Scenario) (Result, error) {
-	return RunCtx(context.Background(), s)
-}
-
 // RunCtx executes one scenario under a cancellable context. Each call
 // builds its own machine, so concurrent RunCtx calls (the engine's
 // parallel runner) share no mutable state.
@@ -280,13 +275,8 @@ func (r Result) Speedup(base Result) float64 {
 	return metrics.Speedup(base.Task.SteadyCycles, r.Task.SteadyCycles)
 }
 
-// RunPair runs the same scenario under the default policy and under
+// RunPairCtx runs the same scenario under the default policy and under
 // PTEMagnet, returning (default, magnet).
-func RunPair(s Scenario) (Result, Result, error) {
-	return RunPairCtx(context.Background(), s)
-}
-
-// RunPairCtx is RunPair under a cancellable context.
 func RunPairCtx(ctx context.Context, s Scenario) (Result, Result, error) {
 	s.Policy = guestos.PolicyDefault
 	def, err := RunCtx(ctx, s)

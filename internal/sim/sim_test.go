@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestRegistryCoversAllNames(t *testing.T) {
 }
 
 func TestRunProducesCompleteResult(t *testing.T) {
-	res, err := Run(Scenario{
+	res, err := RunCtx(context.Background(), Scenario{
 		Benchmark: "pagerank", Corunners: []string{"objdet"},
 		Policy: guestos.PolicyPTEMagnet, Scale: QuickScale(), Seed: testSeed,
 	})
@@ -57,7 +58,7 @@ func TestRunProducesCompleteResult(t *testing.T) {
 }
 
 func TestRunPairPoliciesDiffer(t *testing.T) {
-	def, mag, err := RunPair(Scenario{
+	def, mag, err := RunPairCtx(context.Background(), Scenario{
 		Benchmark: "pagerank", Corunners: []string{"objdet"},
 		Scale: QuickScale(), Seed: testSeed,
 	})
@@ -73,7 +74,7 @@ func TestRunPairPoliciesDiffer(t *testing.T) {
 }
 
 func TestTable1ShapeHolds(t *testing.T) {
-	r, err := RunTable1(QuickScale(), testSeed)
+	r, err := RunTable1Ctx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestObjdetSuiteQuick(t *testing.T) {
 }
 
 func TestTable4ShapeHolds(t *testing.T) {
-	r, err := RunTable4(QuickScale(), testSeed)
+	r, err := RunTable4Ctx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestSec62Quick(t *testing.T) {
 	}
 	sc := QuickScale()
 	// One real benchmark + the adversary suffices for mechanics.
-	res, err := Run(Scenario{
+	res, err := RunCtx(context.Background(), Scenario{
 		Benchmark: "pagerank", Corunners: []string{"objdet"},
 		Policy: guestos.PolicyPTEMagnet, Scale: sc, Seed: testSeed,
 	})
@@ -166,7 +167,7 @@ func TestSec62Quick(t *testing.T) {
 	if e.MaxUnusedPct > 1.0 {
 		t.Errorf("pagerank peak unused = %.2f%% of footprint; paper bound is ~0.2%%", e.MaxUnusedPct)
 	}
-	adv, err := Run(Scenario{Benchmark: "sparse", Policy: guestos.PolicyPTEMagnet, Scale: sc, Seed: testSeed})
+	adv, err := RunCtx(context.Background(), Scenario{Benchmark: "sparse", Policy: guestos.PolicyPTEMagnet, Scale: sc, Seed: testSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestSec62Quick(t *testing.T) {
 }
 
 func TestSec64Quick(t *testing.T) {
-	r, err := RunSec64(QuickScale(), testSeed)
+	r, err := RunSec64Ctx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestGranularityQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run in full mode only")
 	}
-	r, err := RunGranularity(QuickScale(), testSeed)
+	r, err := RunGranularityCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestLockingAblation(t *testing.T) {
 }
 
 func TestReclaimSweepQuick(t *testing.T) {
-	r, err := RunReclaimSweep(QuickScale(), testSeed)
+	r, err := RunReclaimSweepCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestCAPagingComparisonQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparison run in full mode only")
 	}
-	r, err := RunCAPagingComparison(QuickScale(), testSeed)
+	r, err := RunCAPagingComparisonCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestTHPComparisonQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparison run in full mode only")
 	}
-	r, err := RunTHPComparison(QuickScale(), testSeed)
+	r, err := RunTHPComparisonCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestFiveLevelComparisonQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparison run in full mode only")
 	}
-	r, err := RunFiveLevelComparison(QuickScale(), testSeed)
+	r, err := RunFiveLevelComparisonCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +429,7 @@ func TestRunSec62SmokeSubset(t *testing.T) {
 	saved := Benchmarks
 	Benchmarks = []string{"gcc"}
 	defer func() { Benchmarks = saved }()
-	r, err := RunSec62(QuickScale(), testSeed)
+	r, err := RunSec62Ctx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +442,7 @@ func TestLowPressureQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("study run in full mode only")
 	}
-	r, err := RunLowPressure(QuickScale(), testSeed)
+	r, err := RunLowPressureCtx(context.Background(), nil, QuickScale(), testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -125,6 +125,26 @@ func (t *TLB) InvalidatePage(asid uint32, vpn uint64) {
 	}
 }
 
+// InvalidateRange drops every translation of asid with a VPN in
+// [first, limit) — the batched shootdown behind large frees. Only validity
+// bits are cleared; LRU ages and the tick counter are untouched, so the
+// resulting state is identical to per-page InvalidatePage calls. For
+// ranges wider than the TLB itself one scan over the entries replaces the
+// per-page set probes.
+func (t *TLB) InvalidateRange(asid uint32, first, limit uint64) {
+	if limit-first >= uint64(len(t.entries)) {
+		for i := range t.entries {
+			if t.valid[i] && t.entries[i].ASID == asid && t.entries[i].VPN >= first && t.entries[i].VPN < limit {
+				t.valid[i] = false
+			}
+		}
+		return
+	}
+	for vpn := first; vpn < limit; vpn++ {
+		t.InvalidatePage(asid, vpn)
+	}
+}
+
 // InvalidateASID drops every translation belonging to asid.
 func (t *TLB) InvalidateASID(asid uint32) {
 	for i := range t.entries {
@@ -208,6 +228,13 @@ func (t *TwoLevel) promote(asid uint32, vpn uint64, pa arch.PhysAddr) {
 func (t *TwoLevel) InvalidatePage(asid uint32, vpn uint64) {
 	t.l1.InvalidatePage(asid, vpn)
 	t.l2.InvalidatePage(asid, vpn)
+}
+
+// InvalidateRange drops every translation of asid with a VPN in
+// [first, limit) from both levels.
+func (t *TwoLevel) InvalidateRange(asid uint32, first, limit uint64) {
+	t.l1.InvalidateRange(asid, first, limit)
+	t.l2.InvalidateRange(asid, first, limit)
 }
 
 // InvalidateASID drops all translations of asid from both levels.

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/vm"
 )
 
 // Kind discriminates event records.
@@ -242,6 +243,10 @@ func (tr *Reader) ForEach(fn func(Event) error) error {
 
 // Collector adapts a Writer to the vm.Tracer interface, so a Machine can
 // record its run directly. Errors are sticky and surfaced by Close.
+//
+// Collector implements both the batched vm.Tracer interface (AccessBatch)
+// and the legacy per-event vm.AccessTracer one (Access), writing identical
+// record streams either way.
 type Collector struct {
 	w   *Writer
 	err error
@@ -249,6 +254,22 @@ type Collector struct {
 
 // NewCollector wraps a Writer.
 func NewCollector(w *Writer) *Collector { return &Collector{w: w} }
+
+// AccessBatch records a batch of memory accesses in order.
+func (c *Collector) AccessBatch(recs []vm.AccessRecord) {
+	for i := range recs {
+		if c.err != nil {
+			return
+		}
+		r := &recs[i]
+		c.err = c.w.Write(Event{
+			Seq: r.Seq, Task: uint8(r.Task), Kind: KindAccess, VA: r.VA,
+			Write: r.Write, TLBHit: r.TLBHit, ServedLevel: r.Served,
+			TranslationCycles: clamp32(r.TranslationCycles),
+			DataCycles:        clamp32(r.DataCycles),
+		})
+	}
+}
 
 // Access records one memory access.
 func (c *Collector) Access(task int, va arch.VirtAddr, write, tlbHit bool, translationCycles, dataCycles uint64, served uint8, seq uint64) {

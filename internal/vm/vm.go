@@ -123,6 +123,47 @@ type Config struct {
 	Seed int64
 }
 
+// ConfigError is the typed validation failure returned by Config.Validate.
+// It aliases the core package's type so errors.As matches failures from
+// either layer (a bad Magnet sub-config surfaces as the same type).
+type ConfigError = core.ConfigError
+
+// Validate checks cfg for explicitly invalid values. The zero value of every
+// optional field is a documented default (filled in by New) and always
+// passes; Validate rejects only contradictions: unset memory sizes, a guest
+// larger than its host, negative counts, unknown page-table depths,
+// out-of-range watermarks, and an invalid Magnet configuration (when one is
+// set at all).
+func (c Config) Validate() error {
+	if c.HostMemBytes == 0 {
+		return &ConfigError{Field: "HostMemBytes", Value: c.HostMemBytes, Reason: "must be set"}
+	}
+	if c.GuestMemBytes == 0 {
+		return &ConfigError{Field: "GuestMemBytes", Value: c.GuestMemBytes, Reason: "must be set"}
+	}
+	if c.GuestMemBytes > c.HostMemBytes {
+		return &ConfigError{Field: "GuestMemBytes", Value: c.GuestMemBytes, Reason: "guest memory cannot exceed host memory"}
+	}
+	if c.NumCPUs < 0 {
+		return &ConfigError{Field: "NumCPUs", Value: c.NumCPUs, Reason: "must be positive (zero selects the default)"}
+	}
+	if c.Quantum < 0 {
+		return &ConfigError{Field: "Quantum", Value: c.Quantum, Reason: "must be positive (zero selects the default)"}
+	}
+	if c.PTLevels != 0 && c.PTLevels != 4 && c.PTLevels != 5 {
+		return &ConfigError{Field: "PTLevels", Value: c.PTLevels, Reason: "must be 4 or 5 (zero selects the default)"}
+	}
+	if c.ReclaimWatermark < 0 || c.ReclaimWatermark > 1 {
+		return &ConfigError{Field: "ReclaimWatermark", Value: c.ReclaimWatermark, Reason: "must be in [0, 1]"}
+	}
+	if c.Magnet.GroupPages != 0 {
+		if err := c.Magnet.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DefaultConfig returns the scaled-down mirror of the paper's Table 2
 // platform.
 func DefaultConfig() Config {
@@ -154,6 +195,7 @@ type TaskSpec struct {
 // Task is a scheduled workload bound to a guest process and vCPU.
 type Task struct {
 	spec  TaskSpec
+	batch workload.BatchProgram
 	proc  *guestos.Process
 	cpu   int
 	index int
@@ -207,20 +249,64 @@ func (e env) Free(va arch.VirtAddr, bytes uint64) error {
 	}
 	start := va.PageBase()
 	end := arch.VirtAddr(arch.AlignUp(uint64(va)+bytes, arch.PageSize))
-	for page := start; page < end; page += arch.PageSize {
-		e.m.walker.InvalidatePage(e.proc.ASID(), page)
-	}
+	e.m.walker.InvalidateRange(e.proc.ASID(), start, end)
 	return nil
+}
+
+// AccessRecord is one executed memory access as delivered to a Tracer.
+// Seq is the machine-global access sequence number (1-based), identical to
+// the seq the legacy per-event stream carried.
+type AccessRecord struct {
+	Task              int
+	VA                arch.VirtAddr
+	Write             bool
+	TLBHit            bool
+	TranslationCycles uint64
+	DataCycles        uint64
+	Served            uint8
+	Seq               uint64
 }
 
 // Tracer receives the machine's event stream (see internal/trace for a
 // binary recorder). Methods are called synchronously on the simulation
 // thread; implementations should be cheap.
+//
+// Accesses arrive in batches in execution order. Faults interleave in stream
+// order: before a Fault with sequence number s is delivered, every access
+// record with Seq < s has already been delivered (the machine flushes the
+// pending batch first), so a per-event recorder fed through PerAccess sees
+// the exact event order the legacy interface produced.
 type Tracer interface {
+	// AccessBatch reports executed accesses in order. The slice is reused
+	// between calls; implementations must copy anything they retain.
+	AccessBatch(recs []AccessRecord)
+	// Fault reports one resolved guest page fault.
+	Fault(task int, va arch.VirtAddr, kind uint8, seq uint64)
+}
+
+// AccessTracer is the legacy per-event tracing interface. Wrap one with
+// PerAccess to install it on a Machine.
+type AccessTracer interface {
 	// Access reports one executed memory access.
 	Access(task int, va arch.VirtAddr, write, tlbHit bool, translationCycles, dataCycles uint64, served uint8, seq uint64)
 	// Fault reports one resolved guest page fault.
 	Fault(task int, va arch.VirtAddr, kind uint8, seq uint64)
+}
+
+// PerAccess adapts a legacy per-event AccessTracer to the batched Tracer
+// interface, fanning each batch out one call per access.
+func PerAccess(t AccessTracer) Tracer { return perAccess{t: t} }
+
+type perAccess struct{ t AccessTracer }
+
+func (p perAccess) AccessBatch(recs []AccessRecord) {
+	for _, r := range recs {
+		p.t.Access(r.Task, r.VA, r.Write, r.TLBHit, r.TranslationCycles, r.DataCycles, r.Served, r.Seq)
+	}
+}
+
+func (p perAccess) Fault(task int, va arch.VirtAddr, kind uint8, seq uint64) {
+	p.t.Fault(task, va, kind, seq)
 }
 
 // Machine is the assembled platform.
@@ -237,6 +323,11 @@ type Machine struct {
 	unusedSeries  metrics.Series
 	tracer        Tracer
 
+	// Reused batch scratch: accesses filled by StepBatch and the trace
+	// records accumulated while executing them. Sized once in New.
+	accBuf []workload.Access
+	recBuf []AccessRecord
+
 	// Steady-window snapshots, taken when every primary reaches its init
 	// boundary (the §3.3 measurement start).
 	steadySnapTaken bool
@@ -244,12 +335,19 @@ type Machine struct {
 	hierAtInit      [cache.NumLevels]uint64
 }
 
-// New builds a machine.
+// maxBatch caps the per-turn batch buffer: a quantum larger than this is
+// executed as several back-to-back batches, bounding scratch memory while
+// keeping the amortization win.
+const maxBatch = 256
+
+// New builds a machine. Zero-valued optional Config fields select their
+// documented defaults; explicitly invalid values are rejected with a
+// *ConfigError (see Config.Validate).
 func New(cfg Config) (*Machine, error) {
-	if cfg.HostMemBytes == 0 || cfg.GuestMemBytes == 0 {
-		return nil, fmt.Errorf("vm: memory sizes must be set")
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
 	}
-	if cfg.NumCPUs <= 0 {
+	if cfg.NumCPUs == 0 {
 		cfg.NumCPUs = 8
 	}
 	if cfg.Cache.NumCPUs == 0 {
@@ -261,7 +359,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Costs == (CostModel{}) {
 		cfg.Costs = DefaultCostModel()
 	}
-	if cfg.Quantum <= 0 {
+	if cfg.Quantum == 0 {
 		cfg.Quantum = 8
 	}
 	if cfg.PTLevels == 0 {
@@ -282,6 +380,10 @@ func New(cfg Config) (*Machine, error) {
 		PTLevels:             cfg.PTLevels,
 	})
 	hier := cache.NewHierarchy(cfg.Cache)
+	batchCap := cfg.Quantum
+	if batchCap > maxBatch {
+		batchCap = maxBatch
+	}
 	return &Machine{
 		cfg:    cfg,
 		host:   host,
@@ -289,6 +391,8 @@ func New(cfg Config) (*Machine, error) {
 		guest:  guest,
 		hier:   hier,
 		walker: nested.New(cfg.Walker, hier, hostVM),
+		accBuf: make([]workload.Access, batchCap),
+		recBuf: make([]AccessRecord, 0, batchCap),
 	}, nil
 }
 
@@ -321,6 +425,7 @@ func (m *Machine) AddTask(prog workload.Program, role Role) (*Task, error) {
 	}
 	t := &Task{
 		spec:  TaskSpec{Prog: prog, Role: role},
+		batch: workload.AsBatch(prog),
 		proc:  proc,
 		cpu:   len(m.tasks) % m.cfg.NumCPUs,
 		index: len(m.tasks),
@@ -385,18 +490,11 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 			if t.spec.Role == RoleCorunner && !corunnersActive {
 				continue
 			}
-			for q := 0; q < m.cfg.Quantum; q++ {
-				finished, err := m.step(t)
-				if err != nil {
-					return err
-				}
-				if finished {
-					t.done = true
-					if t.spec.Role == RolePrimary {
-						primariesLeft--
-					}
-					break
-				}
+			if err := m.runQuantum(t); err != nil {
+				return err
+			}
+			if t.done && t.spec.Role == RolePrimary {
+				primariesLeft--
 			}
 			progressed = true
 		}
@@ -415,7 +513,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 			m.unusedSeries.Record(m.totalAccesses, int64(m.guest.UnusedReservedPages()))
 			nextSample = m.totalAccesses + opts.SampleEvery
 		}
-		if opts.MaxAccesses > 0 && m.totalAccesses > opts.MaxAccesses {
+		if opts.MaxAccesses > 0 && m.totalAccesses >= opts.MaxAccesses {
 			return fmt.Errorf("vm: exceeded access budget %d", opts.MaxAccesses)
 		}
 	}
@@ -436,63 +534,147 @@ func (m *Machine) primariesInitDone() bool {
 	return true
 }
 
-// step executes one access of t through the full pipeline.
-func (m *Machine) step(t *Task) (finished bool, err error) {
-	acc, done := t.spec.Prog.Step(env{m: m, proc: t.proc})
-	if done {
+// runQuantum executes up to one scheduling quantum of t, pulling accesses
+// from the workload in batches (capped at the scratch-buffer size) and
+// running each batch through the hardware pipeline.
+func (m *Machine) runQuantum(t *Task) error {
+	e := env{m: m, proc: t.proc}
+	remaining := m.cfg.Quantum
+	for remaining > 0 {
+		limit := remaining
+		if limit > len(m.accBuf) {
+			limit = len(m.accBuf)
+		}
+		n, done := t.batch.StepBatch(e, m.accBuf[:limit])
+		if n > 0 {
+			if err := m.execBatch(t, m.accBuf[:n]); err != nil {
+				return err
+			}
+			remaining -= n
+		}
+		// The batch contract ends a batch when InitDone flips, so checking
+		// once per batch observes the same counter snapshot the per-access
+		// loop did.
 		t.markInitBoundary()
-		return true, nil
+		if done {
+			t.done = true
+			return nil
+		}
+		if n == 0 {
+			return fmt.Errorf("vm: task %s stalled: empty batch without finishing", t.Name())
+		}
 	}
-	m.totalAccesses++
-	t.Accesses++
-	t.WorkCycles += m.cfg.Costs.WorkCyclesPerAccess
-	t.Cycles += m.cfg.Costs.WorkCyclesPerAccess
+	return nil
+}
 
-	var accTranslation, accData uint64
-	var accServed cache.Level
-	var accTLBHit bool
-	for attempt := 0; ; attempt++ {
-		out := m.walker.Translate(t.cpu, t.proc.ASID(), t.proc.PageTable(), acc.VA, acc.Write)
-		t.TranslationCycles += out.Cycles
-		t.Cycles += out.Cycles
-		accTranslation += out.Cycles
-		if out.Ok {
-			lv, lat := m.hier.Access(t.cpu, out.HPA)
-			t.DataCycles += lat
-			t.Cycles += lat
-			t.DataServed[lv]++
-			accData = lat
-			accServed = lv
-			accTLBHit = out.TLBHit
-			break
+// execBatch runs one batch of accesses through the full pipeline: main TLB,
+// nested 2D walk, cache hierarchy, guest fault handling. Cycle and cache
+// counters accumulate in locals and are written back to the task once per
+// batch — the amortization that makes the batched path faster than the old
+// per-access loop while producing bit-identical results.
+func (m *Machine) execBatch(t *Task, accs []workload.Access) error {
+	var (
+		costs  = &m.cfg.Costs
+		walker = m.walker
+		hier   = m.hier
+		tracer = m.tracer
+		asid   = t.proc.ASID()
+		gpt    = t.proc.PageTable()
+		cpu    = t.cpu
+		seq    = m.totalAccesses
+	)
+	var executed, dataC, transC, faultC uint64
+	var served [cache.NumLevels]uint64
+	recs := m.recBuf[:0]
+	var stepErr error
+
+batchLoop:
+	for _, acc := range accs {
+		seq++
+		executed++
+		var accTranslation, accData uint64
+		var accServed cache.Level
+		var accTLBHit bool
+		// Fast path: probe the main TLB without setting up a 2D walk. A hit
+		// resolves the access immediately; a miss falls into the walk/fault
+		// retry loop. TranslateFast followed by TranslateSlow performs
+		// exactly the probes the monolithic Translate did, so every TLB and
+		// walker counter advances identically.
+		out, fastHit := walker.TranslateFast(asid, acc.VA, acc.Write)
+		for attempt := 0; ; attempt++ {
+			if !fastHit {
+				if attempt == 0 {
+					out = walker.TranslateSlow(cpu, asid, gpt, acc.VA, acc.Write)
+				} else {
+					out = walker.Translate(cpu, asid, gpt, acc.VA, acc.Write)
+				}
+			}
+			transC += out.Cycles
+			accTranslation += out.Cycles
+			if out.Ok {
+				lv, lat := hier.Access(cpu, out.HPA)
+				dataC += lat
+				served[lv]++
+				accData = lat
+				accServed = lv
+				accTLBHit = out.TLBHit
+				break
+			}
+			if !out.GuestFault {
+				stepErr = fmt.Errorf("vm: translation of %#x failed without fault", uint64(acc.VA))
+				break batchLoop
+			}
+			if attempt >= 3 {
+				stepErr = fmt.Errorf("vm: fault loop at %#x (task %s)", uint64(acc.VA), t.Name())
+				break batchLoop
+			}
+			kind, ferr := t.proc.HandlePageFault(acc.VA, acc.Write)
+			if ferr != nil {
+				stepErr = fmt.Errorf("vm: task %s: %w", t.Name(), ferr)
+				break batchLoop
+			}
+			if tracer != nil {
+				// Faults interleave with accesses in stream order: flush
+				// the pending access records first.
+				if len(recs) > 0 {
+					tracer.AccessBatch(recs)
+					recs = recs[:0]
+				}
+				tracer.Fault(t.index, acc.VA, uint8(kind), seq)
+			}
+			// COW remaps change the translation; drop any stale TLB entry.
+			if kind == guestos.FaultCOW {
+				walker.InvalidatePage(asid, acc.VA)
+			}
+			faultC += costs.faultCost(kind)
+			fastHit = false
 		}
-		if !out.GuestFault {
-			return false, fmt.Errorf("vm: translation of %#x failed without fault", uint64(acc.VA))
+		if tracer != nil {
+			recs = append(recs, AccessRecord{
+				Task: t.index, VA: acc.VA, Write: acc.Write, TLBHit: accTLBHit,
+				TranslationCycles: accTranslation, DataCycles: accData,
+				Served: uint8(accServed), Seq: seq,
+			})
 		}
-		if attempt >= 3 {
-			return false, fmt.Errorf("vm: fault loop at %#x (task %s)", uint64(acc.VA), t.Name())
-		}
-		kind, ferr := t.proc.HandlePageFault(acc.VA, acc.Write)
-		if ferr != nil {
-			return false, fmt.Errorf("vm: task %s: %w", t.Name(), ferr)
-		}
-		if m.tracer != nil {
-			m.tracer.Fault(t.index, acc.VA, uint8(kind), m.totalAccesses)
-		}
-		// COW remaps change the translation; drop any stale TLB entry.
-		if kind == guestos.FaultCOW {
-			m.walker.InvalidatePage(t.proc.ASID(), acc.VA)
-		}
-		cost := m.cfg.Costs.faultCost(kind)
-		t.FaultCycles += cost
-		t.Cycles += cost
 	}
-	if m.tracer != nil {
-		m.tracer.Access(t.index, acc.VA, acc.Write, accTLBHit,
-			accTranslation, accData, uint8(accServed), m.totalAccesses)
+	if tracer != nil && len(recs) > 0 {
+		tracer.AccessBatch(recs)
 	}
-	t.markInitBoundary()
-	return false, nil
+	// Write-back: counters for every access the batch executed, including a
+	// partially executed access on the error path (matching the per-access
+	// loop, which updated counters before failing).
+	work := executed * costs.WorkCyclesPerAccess
+	m.totalAccesses += executed
+	t.Accesses += executed
+	t.WorkCycles += work
+	t.DataCycles += dataC
+	t.TranslationCycles += transC
+	t.FaultCycles += faultC
+	t.Cycles += work + dataC + transC + faultC
+	for i, hits := range served {
+		t.DataServed[i] += hits
+	}
+	return stepErr
 }
 
 func (t *Task) markInitBoundary() {

@@ -263,7 +263,7 @@ func TestTracerReceivesEveryAccess(t *testing.T) {
 	m, _ := New(smallConfig(guestos.PolicyPTEMagnet))
 	task, _ := m.AddTask(workload.NewGCC(workload.SpecConfig{FootprintBytes: 2 << 20, Accesses: 5000, Seed: 2}), RolePrimary)
 	rec := &recordingTracer{}
-	m.SetTracer(rec)
+	m.SetTracer(PerAccess(rec))
 	if err := m.Run(RunOptions{}); err != nil {
 		t.Fatal(err)
 	}

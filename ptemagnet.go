@@ -102,8 +102,19 @@ const (
 	FaultNoMemory = core.FaultNoMemory
 )
 
-// NewPaRT creates an empty Page Reservation Table.
-func NewPaRT(cfg PaRTConfig) *PaRT { return core.New(cfg) }
+// ConfigError is the typed validation failure returned when a PaRTConfig or
+// MachineConfig is rejected (PaRTConfig.Validate, MachineConfig.Validate,
+// NewPaRT, NewMachine). Match it with errors.As.
+type ConfigError = core.ConfigError
+
+// NewPaRT creates an empty Page Reservation Table. An invalid configuration
+// (e.g. a GroupPages that is not a power of two) is rejected with a
+// *ConfigError; use PaRTConfig.Validate to check a configuration up front.
+func NewPaRT(cfg PaRTConfig) (*PaRT, error) { return core.New(cfg) }
+
+// MustNewPaRT is NewPaRT, panicking on an invalid configuration — for
+// package-level variables and tests with known-good configs.
+func MustNewPaRT(cfg PaRTConfig) *PaRT { return core.MustNew(cfg) }
 
 // DefaultPaRTConfig returns the paper's design point: 8-page groups,
 // fine-grained per-node locking.
@@ -150,11 +161,22 @@ type (
 	Task = vm.Task
 	// TaskReport is the per-benchmark measurement.
 	TaskReport = vm.TaskReport
-	// Tracer receives the machine's event stream (see NewTraceWriter).
+	// Tracer receives the machine's event stream in batches (see
+	// NewTraceWriter for a ready-made recorder, PerAccessTracer to adapt a
+	// per-event implementation).
 	Tracer = vm.Tracer
+	// AccessRecord is one executed access as delivered to a Tracer batch.
+	AccessRecord = vm.AccessRecord
+	// AccessTracer is the legacy per-event tracing interface; wrap with
+	// PerAccessTracer before installing it on a Machine.
+	AccessTracer = vm.AccessTracer
 	// Role distinguishes measured primaries from background co-runners.
 	Role = vm.Role
 )
+
+// PerAccessTracer adapts a per-event AccessTracer to the batched Tracer
+// interface a Machine expects.
+func PerAccessTracer(t AccessTracer) Tracer { return vm.PerAccess(t) }
 
 // Task roles.
 const (
@@ -181,6 +203,10 @@ type (
 	// Program is a deterministic access-stream generator. Implement it to
 	// run your own workload on the machine (see examples/kvstore).
 	Program = workload.Program
+	// BatchProgram extends Program with StepBatch, the machine's fast path.
+	// Plain Programs still run everywhere via an internal adapter; implement
+	// StepBatch (respecting its determinism contract) for throughput.
+	BatchProgram = workload.BatchProgram
 	// Env is the system interface a Program sees (mmap/free).
 	Env = workload.Env
 	// Access is one memory reference emitted by a Program.
@@ -213,6 +239,12 @@ var (
 	NewSparse     = workload.NewSparse
 )
 
+// AsBatch upgrades a Program to a BatchProgram, returning it unchanged when
+// it already implements StepBatch and wrapping it in a one-access-per-batch
+// adapter otherwise. Machines do this internally; it is exported for
+// benchmarks and custom harnesses.
+var AsBatch = workload.AsBatch
+
 // Experiment harness.
 type (
 	// Scenario is one measured configuration (benchmark × co-runners ×
@@ -234,18 +266,27 @@ var (
 	Corunners = sim.Corunners
 )
 
-// RunScenario executes one scenario on a freshly assembled machine.
-func RunScenario(s Scenario) (ScenarioResult, error) { return sim.Run(s) }
-
-// RunScenarioCtx is RunScenario under a cancellable context.
+// RunScenarioCtx executes one scenario on a freshly assembled machine under
+// a cancellable context. The Ctx forms are the primary API; the non-Ctx
+// names are conveniences that pass context.Background().
 func RunScenarioCtx(ctx context.Context, s Scenario) (ScenarioResult, error) {
 	return sim.RunCtx(ctx, s)
 }
 
-// RunScenarioPair runs a scenario under the default policy and under
+// RunScenario is RunScenarioCtx with a background context.
+func RunScenario(s Scenario) (ScenarioResult, error) {
+	return sim.RunCtx(context.Background(), s)
+}
+
+// RunScenarioPairCtx runs a scenario under the default policy and under
 // PTEMagnet, returning (default, ptemagnet).
+func RunScenarioPairCtx(ctx context.Context, s Scenario) (ScenarioResult, ScenarioResult, error) {
+	return sim.RunPairCtx(ctx, s)
+}
+
+// RunScenarioPair is RunScenarioPairCtx with a background context.
 func RunScenarioPair(s Scenario) (ScenarioResult, ScenarioResult, error) {
-	return sim.RunPair(s)
+	return sim.RunPairCtx(context.Background(), s)
 }
 
 // Scenario-execution engine: experiment sets run through a bounded worker
@@ -266,10 +307,11 @@ func NewEngine(workers int) *Engine { return engine.New(workers) }
 // independent of worker count and completion order.
 func DeriveSeed(base int64, name string) int64 { return engine.DeriveSeed(base, name) }
 
-// Context-aware experiment entry points. Each RunXxxCtx variant runs its
-// scenarios through the given engine's worker pool (nil means default
-// settings) and honours ctx cancellation; the reduced result is identical
-// for any worker count.
+// Context-aware experiment entry points — the primary API. Each RunXxxCtx
+// variant runs its scenarios through the given engine's worker pool (nil
+// means default settings) and honours ctx cancellation; the reduced result
+// is identical for any worker count. The non-Ctx RunXxx forms further down
+// are one-line conveniences over these.
 var (
 	RunTable1Ctx              = sim.RunTable1Ctx
 	RunObjdetSuiteCtx         = sim.RunObjdetSuiteCtx
@@ -292,39 +334,111 @@ func DefaultScale() Scale { return sim.DefaultScale() }
 // QuickScale returns a reduced sizing for fast runs.
 func QuickScale() Scale { return sim.QuickScale() }
 
-// Paper experiment entry points (see EXPERIMENTS.md for the mapping to
-// tables and figures).
+// Experiment result types (returned by the Run* entry points below).
+type (
+	// Table1Result compares colocated vs standalone execution (§3.3).
+	Table1Result = sim.Table1Result
+	// SuiteResult covers all benchmarks under one co-runner set (§6.1).
+	SuiteResult = sim.SuiteResult
+	// Table4Result holds the §6.3 hardware-metric comparison.
+	Table4Result = sim.Table4Result
+	// Sec62Result holds the §6.2 reservation-waste study.
+	Sec62Result = sim.Sec62Result
+	// Sec64Result holds the §6.4 allocation-latency microbenchmark.
+	Sec64Result = sim.Sec64Result
+	// GranularityResult holds the §4 GroupPages sweep.
+	GranularityResult = sim.GranularityResult
+	// ReclaimResult holds the §4.3 reclaim-watermark sweep.
+	ReclaimResult = sim.ReclaimResult
+	// CAPagingResult compares CA paging against PTEMagnet.
+	CAPagingResult = sim.CAPagingResult
+	// THPResult compares transparent huge pages against PTEMagnet.
+	THPResult = sim.THPResult
+	// FiveLevelResult measures PTEMagnet under five-level paging (§2.5).
+	FiveLevelResult = sim.FiveLevelResult
+	// LowPressureResult verifies overhead freedom at low TLB pressure.
+	LowPressureResult = sim.LowPressureResult
+	// LockingResult holds the §4.2 locking-granularity ablation.
+	LockingResult = sim.LockingResult
+	// ThresholdResult demonstrates the §4.4 enable threshold.
+	ThresholdResult = sim.ThresholdResult
+)
+
+// Paper experiment entry points, non-Ctx convenience forms (see
+// EXPERIMENTS.md for the mapping to tables and figures). Each is a one-line
+// wrapper passing context.Background() and the default engine to its
+// primary RunXxxCtx counterpart above.
+
+// RunTable1 reproduces Table 1 (§3.3 fragmentation effects).
+func RunTable1(sc Scale, seed int64) (Table1Result, error) {
+	return sim.RunTable1Ctx(context.Background(), nil, sc, seed)
+}
+
+// RunObjdetSuite reproduces Figures 5 and 6 (§6.1, objdet co-runner).
+func RunObjdetSuite(sc Scale, seed int64) (SuiteResult, error) {
+	return sim.RunObjdetSuiteCtx(context.Background(), nil, sc, seed)
+}
+
+// RunCombinationSuite reproduces Figure 7 (§6.1, all co-runners).
+func RunCombinationSuite(sc Scale, seed int64) (SuiteResult, error) {
+	return sim.RunCombinationSuiteCtx(context.Background(), nil, sc, seed)
+}
+
+// RunTable4 reproduces Table 4 (§6.3 hardware metrics).
+func RunTable4(sc Scale, seed int64) (Table4Result, error) {
+	return sim.RunTable4Ctx(context.Background(), nil, sc, seed)
+}
+
+// RunSec62 reproduces the §6.2 reservation-waste study.
+func RunSec62(sc Scale, seed int64) (Sec62Result, error) {
+	return sim.RunSec62Ctx(context.Background(), nil, sc, seed)
+}
+
+// RunSec64 reproduces the §6.4 allocation-latency microbenchmark.
+func RunSec64(sc Scale, seed int64) (Sec64Result, error) {
+	return sim.RunSec64Ctx(context.Background(), nil, sc, seed)
+}
+
+// RunGranularity sweeps the reservation granularity (§4 ablation).
+func RunGranularity(sc Scale, seed int64) (GranularityResult, error) {
+	return sim.RunGranularityCtx(context.Background(), nil, sc, seed)
+}
+
+// RunReclaimSweep sweeps the reclaim watermark (§4.3 ablation).
+func RunReclaimSweep(sc Scale, seed int64) (ReclaimResult, error) {
+	return sim.RunReclaimSweepCtx(context.Background(), nil, sc, seed)
+}
+
+// RunCAPagingComparison contrasts best-effort contiguity (CA paging,
+// related work §7) with PTEMagnet's eager reservation.
+func RunCAPagingComparison(sc Scale, seed int64) (CAPagingResult, error) {
+	return sim.RunCAPagingComparisonCtx(context.Background(), nil, sc, seed)
+}
+
+// RunTHPComparison contrasts transparent huge pages (§2.3) with PTEMagnet
+// across colocation levels.
+func RunTHPComparison(sc Scale, seed int64) (THPResult, error) {
+	return sim.RunTHPComparisonCtx(context.Background(), nil, sc, seed)
+}
+
+// RunFiveLevelComparison measures PTEMagnet under the five-level paging
+// migration the paper's §2.5 anticipates.
+func RunFiveLevelComparison(sc Scale, seed int64) (FiveLevelResult, error) {
+	return sim.RunFiveLevelComparisonCtx(context.Background(), nil, sc, seed)
+}
+
+// RunLowPressure verifies the §6.1 overhead-freedom claim on
+// low-TLB-pressure applications.
+func RunLowPressure(sc Scale, seed int64) (LowPressureResult, error) {
+	return sim.RunLowPressureCtx(context.Background(), nil, sc, seed)
+}
+
+// Synchronous ablations (no scenario engine underneath — these run inline).
 var (
-	// RunTable1 reproduces Table 1 (§3.3 fragmentation effects).
-	RunTable1 = sim.RunTable1
-	// RunObjdetSuite reproduces Figures 5 and 6 (§6.1, objdet co-runner).
-	RunObjdetSuite = sim.RunObjdetSuite
-	// RunCombinationSuite reproduces Figure 7 (§6.1, all co-runners).
-	RunCombinationSuite = sim.RunCombinationSuite
-	// RunTable4 reproduces Table 4 (§6.3 hardware metrics).
-	RunTable4 = sim.RunTable4
-	// RunSec62 reproduces the §6.2 reservation-waste study.
-	RunSec62 = sim.RunSec62
-	// RunSec64 reproduces the §6.4 allocation-latency microbenchmark.
-	RunSec64 = sim.RunSec64
-	// RunGranularity, RunLockingAblation, RunReclaimSweep and
-	// RunThresholdDemo cover the §4 design-choice ablations.
-	RunGranularity = sim.RunGranularity
-	// RunCAPagingComparison contrasts best-effort contiguity (CA paging,
-	// related work §7) with PTEMagnet's eager reservation.
-	RunCAPagingComparison = sim.RunCAPagingComparison
-	// RunTHPComparison contrasts transparent huge pages (§2.3) with
-	// PTEMagnet across colocation levels.
-	RunTHPComparison = sim.RunTHPComparison
-	// RunFiveLevelComparison measures PTEMagnet under the five-level
-	// paging migration the paper's §2.5 anticipates.
-	RunFiveLevelComparison = sim.RunFiveLevelComparison
-	// RunLowPressure verifies the §6.1 overhead-freedom claim on
-	// low-TLB-pressure applications.
-	RunLowPressure     = sim.RunLowPressure
+	// RunLockingAblation covers the §4.2 locking-granularity choice.
 	RunLockingAblation = sim.RunLockingAblation
-	RunReclaimSweep    = sim.RunReclaimSweep
-	RunThresholdDemo   = sim.RunThresholdDemo
+	// RunThresholdDemo demonstrates the §4.4 enable threshold.
+	RunThresholdDemo = sim.RunThresholdDemo
 )
 
 // Tracing: record a machine's event stream to a compact binary format and

@@ -14,7 +14,10 @@ func TestGeometryReexports(t *testing.T) {
 }
 
 func TestPaRTFacade(t *testing.T) {
-	part := ptemagnet.NewPaRT(ptemagnet.DefaultPaRTConfig())
+	part, err := ptemagnet.NewPaRT(ptemagnet.DefaultPaRTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	mem := physmem.New(16 << 20)
 	alloc := func() (ptemagnet.PhysAddr, bool) {
 		return mem.AllocGroup(ptemagnet.GroupPages, physmem.KindReserved, 1)
