@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke experiments
+.PHONY: all build vet lint test race bench bench-smoke experiments obs-smoke
 
 all: build vet lint test
 
@@ -11,8 +11,8 @@ vet:
 	$(GO) vet ./...
 
 # ptmlint enforces the determinism and address-hygiene contracts of
-# DESIGN.md §6 (detrange, noclock, seedflow, archconst). Blocking: any
-# finding fails the build.
+# DESIGN.md §6 (detrange, noclock, seedflow, archconst, statshape).
+# Blocking: any finding fails the build.
 lint:
 	$(GO) run ./cmd/ptmlint
 
@@ -44,3 +44,15 @@ bench-smoke:
 
 experiments:
 	$(GO) run ./cmd/experiments -quick
+
+# Telemetry determinism check (DESIGN.md §8): a quick sweep serial and
+# with 4 workers must emit byte-identical RunRecord JSONL once
+# elapsed_ms — the one sanctioned nondeterministic field — is masked.
+OBS_SMOKE_DIR ?= $(or $(TMPDIR),/tmp)
+obs-smoke:
+	$(GO) run ./cmd/experiments -quick -exp table1 -parallel 1 -telemetry $(OBS_SMOKE_DIR)/obs-serial.jsonl
+	$(GO) run ./cmd/experiments -quick -exp table1 -parallel 4 -telemetry $(OBS_SMOKE_DIR)/obs-parallel.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-serial.jsonl > $(OBS_SMOKE_DIR)/obs-serial.masked.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-parallel.masked.jsonl
+	diff $(OBS_SMOKE_DIR)/obs-serial.masked.jsonl $(OBS_SMOKE_DIR)/obs-parallel.masked.jsonl
+	@echo "obs-smoke: telemetry identical for 1 vs 4 workers"

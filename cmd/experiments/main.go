@@ -6,6 +6,8 @@
 //
 //	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation]
 //	            [-quick] [-seed N] [-parallel N] [-progress]
+//	            [-telemetry run.jsonl] [-telemetry-csv run.csv]
+//	            [-heartbeat 30s] [-pprof localhost:6060]
 //
 // fig5 and fig6 come from the same runs (the objdet suite) and print
 // together. With -quick the reduced test scale is used (seconds instead of
@@ -16,18 +18,28 @@
 // worker count. A failing scenario does not abort the rest: partial
 // results print, the error is reported, and the process exits non-zero
 // at the end.
+//
+// -telemetry / -telemetry-csv write one RunRecord per executed scenario
+// (see EXPERIMENTS.md for the schema); everything except elapsed_ms is
+// byte-identical for any -parallel value. -heartbeat prints periodic
+// in-flight progress on stderr; -pprof serves net/http/pprof on the given
+// address for live profiling.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ptemagnet/internal/engine"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
 )
 
@@ -37,6 +49,10 @@ func main() {
 	seed := flag.Int64("seed", 11, "simulation seed")
 	parallel := flag.Int("parallel", 0, "concurrent scenarios per experiment (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-scenario completion on stderr")
+	telemetry := flag.String("telemetry", "", "write per-scenario RunRecords as JSON Lines to this file")
+	telemetryCSV := flag.String("telemetry-csv", "", "write per-scenario RunRecords as CSV to this file")
+	heartbeat := flag.Duration("heartbeat", 0, "report in-flight progress on stderr at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	sc := sim.DefaultScale()
@@ -47,6 +63,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+
+	var collector *obs.Collector
+	if *telemetry != "" || *telemetryCSV != "" {
+		collector = &obs.Collector{}
+		ctx = obs.WithCollector(ctx, collector)
+	}
+
 	eng := engine.New(*parallel)
 	if *progress {
 		eng.OnEvent = func(ev engine.Event) {
@@ -56,6 +86,13 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s/%s (%.1fs) %s\n",
 				ev.Done, ev.Total, ev.Set, ev.Scenario, ev.Elapsed.Seconds(), status)
+		}
+	}
+	if *heartbeat > 0 {
+		eng.HeartbeatEvery = *heartbeat
+		eng.OnHeartbeat = func(hb engine.Heartbeat) {
+			fmt.Fprintf(os.Stderr, "  ... %s: %d/%d scenarios done after %.0fs\n",
+				hb.Set, hb.Done, hb.Total, hb.Elapsed.Seconds())
 		}
 	}
 
@@ -165,7 +202,35 @@ func main() {
 		})
 	}
 
+	if collector != nil {
+		recs := collector.Records()
+		if *telemetry != "" {
+			if err := writeTelemetry(*telemetry, recs, obs.WriteJSONL); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				failed = true
+			}
+		}
+		if *telemetryCSV != "" {
+			if err := writeTelemetry(*telemetryCSV, recs, obs.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				failed = true
+			}
+		}
+	}
+
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func writeTelemetry(path string, recs []obs.RunRecord, write func(w io.Writer, recs []obs.RunRecord) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,20 +4,28 @@
 // shape, and a physical-contiguity map of the primary benchmark's virtual
 // space. It exists for studying *why* a configuration fragments.
 //
+// Counters come from the machine's aggregated observation (Observe) and
+// named counter registry (DESIGN.md §8); only layout state that is not a
+// counter — free-list shape, per-page contiguity — is read from the
+// components directly.
+//
 // Usage:
 //
-//	fraginspect -bench pagerank -corunners stress-ng -policy default
+//	fraginspect -bench pagerank -corunners stress-ng -policy default [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/buddy"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/pagetable"
 	"ptemagnet/internal/sim"
 	"ptemagnet/internal/vm"
@@ -29,6 +37,7 @@ func main() {
 	policy := flag.String("policy", "default", "allocator policy: default or ptemagnet")
 	seed := flag.Int64("seed", 11, "simulation seed")
 	quick := flag.Bool("quick", true, "use the reduced quick scale")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text dump")
 	flag.Parse()
 
 	sc := sim.DefaultScale()
@@ -72,19 +81,82 @@ func main() {
 		fatal(err)
 	}
 
+	rep := m.Observe()
+	if *asJSON {
+		dumpJSON(m, pol, rep)
+		return
+	}
+
 	fmt.Printf("policy: %v\n\n", pol)
 	for _, task := range m.Tasks() {
 		dumpProcess(m, task)
 	}
-	dumpBuddy(m)
-	dumpWalkHistogram(m)
+	dumpBuddy(m, rep.Whole.GuestBuddy)
+	dumpWalkHistogram(rep)
+}
+
+// jsonOutput is the -json document: the per-process layout views plus the
+// machine's full counter registry in registration order.
+type jsonOutput struct {
+	Policy    string       `json:"policy"`
+	Processes []jsonProc   `json:"processes"`
+	Buddy     jsonBuddy    `json:"buddy"`
+	Counters  obs.Snapshot `json:"counters"`
+}
+
+type jsonProc struct {
+	Name           string  `json:"name"`
+	RSSPages       uint64  `json:"rss_pages"`
+	FragMean       float64 `json:"frag_mean"`
+	FragGroups     int     `json:"frag_groups"`
+	FullyScattered float64 `json:"fully_scattered"`
+	Histogram      []int   `json:"histogram"`
+}
+
+type jsonBuddy struct {
+	FreeFrames        uint64   `json:"free_frames"`
+	TotalFrames       uint64   `json:"total_frames"`
+	LargestFreeOrder  int      `json:"largest_free_order"`
+	FreeBlocksByOrder []uint64 `json:"free_blocks_by_order"`
+}
+
+func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
+	out := jsonOutput{
+		Policy:   pol.String(),
+		Counters: m.Registry().Snapshot(),
+	}
+	for _, task := range m.Tasks() {
+		proc := task.Process()
+		frag := metrics.HostPTFragmentation(proc.PageTable(), m.HostVM().PageTable())
+		out.Processes = append(out.Processes, jsonProc{
+			Name:           task.Name(),
+			RSSPages:       proc.RSS(),
+			FragMean:       frag.Mean,
+			FragGroups:     frag.Groups,
+			FullyScattered: frag.FullyScattered,
+			Histogram:      frag.Histogram[:],
+		})
+	}
+	b := m.Guest().Memory().Buddy()
+	counts := b.FreeBlocksByOrder()
+	out.Buddy = jsonBuddy{
+		FreeFrames:        b.FreeFrames(),
+		TotalFrames:       b.NumFrames(),
+		LargestFreeOrder:  b.LargestFreeOrder(),
+		FreeBlocksByOrder: counts[:],
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
 }
 
 // dumpWalkHistogram prints the per-walk latency distribution — the per-walk
 // view of the fragmentation penalty (compare policies to watch the mass
 // shift between buckets).
-func dumpWalkHistogram(m *vm.Machine) {
-	s := m.Walker().Snapshot()
+func dumpWalkHistogram(rep vm.Report) {
+	s := rep.Whole.Walker
 	fmt.Printf("\nnested-walk latency distribution (%d walks, p50 ≤ %d cycles, p99 ≤ %d cycles)\n",
 		s.Walks, s.WalkLatencyPercentile(0.5), s.WalkLatencyPercentile(0.99))
 	var max uint64
@@ -136,7 +208,7 @@ func dumpProcess(m *vm.Machine, task *vm.Task) {
 	fmt.Println("\n  ('.' physically adjacent to previous page, '|' discontinuity)")
 }
 
-func dumpBuddy(m *vm.Machine) {
+func dumpBuddy(m *vm.Machine, s buddy.Stats) {
 	b := m.Guest().Memory().Buddy()
 	fmt.Printf("\nguest buddy allocator: %d/%d frames free, largest free order %d\n",
 		b.FreeFrames(), b.NumFrames(), b.LargestFreeOrder())
@@ -148,7 +220,6 @@ func dumpBuddy(m *vm.Machine) {
 		}
 	}
 	fmt.Println()
-	s := b.Snapshot()
 	fmt.Printf("  splits %d  merges %d  failures %d\n", s.Splits, s.Merges, s.Failures)
 }
 

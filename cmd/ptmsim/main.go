@@ -9,20 +9,29 @@
 // Benchmarks: cc bfs nibble pagerank gcc mcf omnetpp xz allocmicro sparse.
 // Co-runners: objdet stress-ng chameleon pyaes json_serdes rnn_serving
 // gcc-co xz-co.
+//
+// -telemetry / -telemetry-csv write the run's RunRecord (full counter
+// registry plus wall-clock) to a file; -pprof serves net/http/pprof for
+// live profiling.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"ptemagnet/internal/cache"
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/nested"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
 )
 
@@ -35,6 +44,9 @@ func main() {
 	stopAtInit := flag.Bool("stop-corunners-at-init", false, "stop co-runners at the primary's init boundary (§3.3 methodology)")
 	watermark := flag.Float64("reclaim-watermark", 0, "reclaim daemon watermark (0 = default 0.95)")
 	threshold := flag.Uint64("enable-threshold", 0, "PTEMagnet enable threshold in bytes (0 = always on)")
+	telemetry := flag.String("telemetry", "", "write the run's RunRecord as JSON Lines to this file")
+	telemetryCSV := flag.String("telemetry-csv", "", "write the run's RunRecord as CSV to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	s := sim.Scenario{
@@ -68,12 +80,55 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ptmsim: pprof server: %v\n", err)
+			}
+		}()
+	}
+
+	var collector *obs.Collector
+	if *telemetry != "" || *telemetryCSV != "" {
+		collector = &obs.Collector{}
+		ctx = obs.WithCollector(ctx, collector)
+		ctx = engine.WithScenarioInfo(ctx, engine.ScenarioInfo{Set: "ptmsim", Scenario: s.Identity()})
+	}
+
 	res, err := sim.RunCtx(ctx, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ptmsim: %v\n", err)
 		os.Exit(1)
 	}
 	printResult(res)
+
+	if collector != nil {
+		recs := collector.Records()
+		if *telemetry != "" {
+			if err := writeFile(*telemetry, recs, obs.WriteJSONL); err != nil {
+				fmt.Fprintf(os.Stderr, "ptmsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *telemetryCSV != "" {
+			if err := writeFile(*telemetryCSV, recs, obs.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "ptmsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeFile(path string, recs []obs.RunRecord, write func(w io.Writer, recs []obs.RunRecord) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(r sim.Result) {

@@ -5,10 +5,14 @@
 //
 // record runs a scenario with the trace collector attached and writes the
 // per-access event stream to a file; summarize aggregates a recorded trace
-// (TLB behaviour, cycle split, fault mix, hottest pages).
+// (TLB behaviour, cycle split, fault mix, hottest pages). Both subcommands
+// accept -json for machine-readable output; record's JSON includes the
+// machine's full counter registry (DESIGN.md §8) alongside the trace
+// metadata.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
 	"ptemagnet/internal/trace"
 	"ptemagnet/internal/vm"
@@ -36,7 +41,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ptmtrace record -o FILE [scenario flags] | ptmtrace summarize FILE")
+	fmt.Fprintln(os.Stderr, "usage: ptmtrace record -o FILE [scenario flags] | ptmtrace summarize [-json] FILE")
 	os.Exit(2)
 }
 
@@ -48,6 +53,7 @@ func record(args []string) {
 	policy := fs.String("policy", "default", "allocator policy: default, ptemagnet, capaging, or thp")
 	seed := fs.Int64("seed", 11, "simulation seed")
 	quick := fs.Bool("quick", true, "use the reduced quick scale (traces get large fast)")
+	asJSON := fs.Bool("json", false, "emit the recording report as JSON (with the counter registry)")
 	fs.Parse(args)
 
 	s := sim.Scenario{Benchmark: *bench, Seed: *seed, Scale: sim.DefaultScale()}
@@ -92,6 +98,28 @@ func record(args []string) {
 	if err := collector.Close(); err != nil {
 		fatal(err)
 	}
+	if *asJSON {
+		type recordOut struct {
+			Trace       string       `json:"trace"`
+			Events      uint64       `json:"events"`
+			Scenario    string       `json:"scenario"`
+			Fingerprint string       `json:"fingerprint"`
+			Tasks       []string     `json:"tasks"`
+			Counters    obs.Snapshot `json:"counters"`
+		}
+		rep := recordOut{
+			Trace:       *out,
+			Events:      tw.Count(),
+			Scenario:    s.Identity(),
+			Fingerprint: s.Fingerprint(),
+			Counters:    m.Registry().Snapshot(),
+		}
+		for _, task := range m.Tasks() {
+			rep.Tasks = append(rep.Tasks, task.Name())
+		}
+		writeJSON(rep)
+		return
+	}
 	fmt.Printf("recorded %d events to %s\n", tw.Count(), *out)
 	for i, task := range m.Tasks() {
 		fmt.Printf("  task %d: %s\n", i, task.Name())
@@ -99,10 +127,13 @@ func record(args []string) {
 }
 
 func summarize(args []string) {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
 		usage()
 	}
-	f, err := os.Open(args[0])
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +141,10 @@ func summarize(args []string) {
 	s, err := trace.Summarize(f, 10)
 	if err != nil {
 		fatal(err)
+	}
+	if *asJSON {
+		writeJSON(s)
+		return
 	}
 	fmt.Printf("events            %d  (%d accesses, %d faults)\n", s.Events, s.Accesses, s.Faults)
 	if s.Accesses > 0 {
@@ -138,6 +173,14 @@ func summarize(args []string) {
 	fmt.Println("hottest pages:")
 	for _, pc := range s.HotPages {
 		fmt.Printf("  %#014x  %d accesses\n", uint64(pc.Page), pc.Count)
+	}
+}
+
+func writeJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

@@ -19,7 +19,11 @@
 // serialize calls the way a per-zone spinlock would.
 package buddy
 
-import "fmt"
+import (
+	"fmt"
+
+	"ptemagnet/internal/obs"
+)
 
 // MaxOrder is the largest supported block order. 2^11 pages = 8MB, matching
 // Linux's default MAX_ORDER-1 = 10..11 range closely enough for simulation.
@@ -37,6 +41,19 @@ type Stats struct {
 	Merges uint64
 	// Failures counts allocations that failed for lack of memory.
 	Failures uint64
+}
+
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	var d Stats
+	for i := range s.AllocCalls {
+		d.AllocCalls[i] = s.AllocCalls[i] - prev.AllocCalls[i]
+		d.FreeCalls[i] = s.FreeCalls[i] - prev.FreeCalls[i]
+	}
+	d.Splits = s.Splits - prev.Splits
+	d.Merges = s.Merges - prev.Merges
+	d.Failures = s.Failures - prev.Failures
+	return d
 }
 
 // Allocator is a binary buddy allocator over a contiguous range of physical
@@ -121,6 +138,16 @@ func (a *Allocator) UsedFrames() uint64 { return a.nframes - 1 - a.free }
 
 // Snapshot returns a copy of the activity counters.
 func (a *Allocator) Snapshot() Stats { return a.stats }
+
+// RegisterObs registers the allocator's counters on r under prefix:
+// per-order alloc/free histograms plus the split/merge/failure totals.
+func (a *Allocator) RegisterObs(r *obs.Registry, prefix string) {
+	r.Histogram(prefix+"alloc_calls", MaxOrder+1, func(o int) uint64 { return a.stats.AllocCalls[o] })
+	r.Histogram(prefix+"free_calls", MaxOrder+1, func(o int) uint64 { return a.stats.FreeCalls[o] })
+	r.Counter(prefix+"splits", func() uint64 { return a.stats.Splits })
+	r.Counter(prefix+"merges", func() uint64 { return a.stats.Merges })
+	r.Counter(prefix+"failures", func() uint64 { return a.stats.Failures })
+}
 
 // AllocOrder allocates a 2^order-page block and returns its first frame
 // number. It returns ok=false if no block of sufficient order is free.

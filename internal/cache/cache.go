@@ -11,8 +11,10 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/obs"
 )
 
 // Level identifies where in the memory hierarchy an access was served.
@@ -275,23 +277,64 @@ func (h *Hierarchy) Invalidate(pa arch.PhysAddr) {
 	h.llc.invalidate(block)
 }
 
-// HitCounts returns the number of accesses served per level since creation.
-func (h *Hierarchy) HitCounts() [NumLevels]uint64 { return h.hits }
+// Stats holds the hierarchy's counters (DESIGN.md §8).
+type Stats struct {
+	// Hits[level] counts accesses served at that level, across all CPUs.
+	Hits [NumLevels]uint64
+}
 
-// TotalAccesses returns the total number of accesses performed.
-func (h *Hierarchy) TotalAccesses() uint64 {
+// Total returns the total number of accesses performed.
+func (s Stats) Total() uint64 {
 	var n uint64
-	for _, c := range h.hits {
+	for _, c := range s.Hits {
 		n += c
 	}
 	return n
 }
 
 // MissRatio returns the fraction of accesses served by main memory.
-func (h *Hierarchy) MissRatio() float64 {
-	total := h.TotalAccesses()
+func (s Stats) MissRatio() float64 {
+	total := s.Total()
 	if total == 0 {
 		return 0
 	}
-	return float64(h.hits[LevelMemory]) / float64(total)
+	return float64(s.Hits[LevelMemory]) / float64(total)
 }
+
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	var d Stats
+	for i := range s.Hits {
+		d.Hits[i] = s.Hits[i] - prev.Hits[i]
+	}
+	return d
+}
+
+// Snapshot returns the counters accumulated since creation.
+func (h *Hierarchy) Snapshot() Stats { return Stats{Hits: h.hits} }
+
+// RegisterObs registers the hierarchy's counters on r under prefix, one
+// per serving level.
+func (h *Hierarchy) RegisterObs(r *obs.Registry, prefix string) {
+	for lv := Level(0); lv < NumLevels; lv++ {
+		lv := lv
+		r.Counter(prefix+"served."+strings.ToLower(lv.String()), func() uint64 {
+			return h.hits[lv]
+		})
+	}
+}
+
+// HitCounts returns the number of accesses served per level since creation.
+//
+// Deprecated: use Snapshot().Hits.
+func (h *Hierarchy) HitCounts() [NumLevels]uint64 { return h.Snapshot().Hits }
+
+// TotalAccesses returns the total number of accesses performed.
+//
+// Deprecated: use Snapshot().Total.
+func (h *Hierarchy) TotalAccesses() uint64 { return h.Snapshot().Total() }
+
+// MissRatio returns the fraction of accesses served by main memory.
+//
+// Deprecated: use Snapshot().MissRatio.
+func (h *Hierarchy) MissRatio() float64 { return h.Snapshot().MissRatio() }

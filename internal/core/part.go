@@ -115,6 +115,17 @@ type Stats struct {
 	Hits uint64
 }
 
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Created:     s.Created - prev.Created,
+		FullyMapped: s.FullyMapped - prev.FullyMapped,
+		FullyFreed:  s.FullyFreed - prev.FullyFreed,
+		Reclaimed:   s.Reclaimed - prev.Reclaimed,
+		Hits:        s.Hits - prev.Hits,
+	}
+}
+
 // PaRT is the Page Reservation Table of one process.
 type PaRT struct {
 	cfg        Config

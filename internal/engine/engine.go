@@ -102,6 +102,36 @@ type Event struct {
 	Err error
 }
 
+// Heartbeat is a periodic progress report for a set still in flight,
+// delivered between scenario completions so long-running sweeps stay
+// observable.
+type Heartbeat struct {
+	// Set names the executing set.
+	Set string
+	// Done of Total scenarios have completed so far.
+	Done, Total int
+	// Elapsed is the wall-clock time since Execute started on this set.
+	Elapsed time.Duration
+}
+
+// Stats counts the engine's lifetime activity (DESIGN.md §8).
+type Stats struct {
+	// Sets counts Execute calls; Scenarios completed scenario runs;
+	// Failures the scenarios that returned an error (or were skipped).
+	Sets      uint64
+	Scenarios uint64
+	Failures  uint64
+}
+
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Sets:      s.Sets - prev.Sets,
+		Scenarios: s.Scenarios - prev.Scenarios,
+		Failures:  s.Failures - prev.Failures,
+	}
+}
+
 // Engine executes scenario sets through a worker pool.
 type Engine struct {
 	// Workers bounds concurrent scenarios. Zero or negative means
@@ -110,10 +140,34 @@ type Engine struct {
 	// OnEvent, if set, receives one Event per finished scenario.
 	// Calls are serialized; the callback must not block for long.
 	OnEvent func(Event)
+	// HeartbeatEvery enables periodic progress heartbeats while a set is
+	// executing: OnHeartbeat fires roughly every HeartbeatEvery until the
+	// set completes. Zero disables heartbeats. Heartbeats are pure
+	// progress reporting — they never influence results.
+	HeartbeatEvery time.Duration
+	// OnHeartbeat receives the periodic reports. Calls are serialized
+	// with OnEvent; the callback must not block for long.
+	OnHeartbeat func(Heartbeat)
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // New returns an engine with the given worker count (<= 0 → GOMAXPROCS).
 func New(workers int) *Engine { return &Engine{Workers: workers} }
+
+// Snapshot returns the engine's lifetime counters.
+func (e *Engine) Snapshot() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) bump(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
 
 func (e *Engine) workerCount(jobs int) int {
 	w := e.Workers
@@ -151,11 +205,13 @@ func Execute[R, O any](ctx context.Context, e *Engine, set Set[R, O]) (O, error)
 		seen[s.Name] = struct{}{}
 	}
 
+	e.bump(func(s *Stats) { s.Sets++ })
+
 	results := make([]R, n)
 	errs := make([]error, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes the done counter and OnEvent calls
+	var mu sync.Mutex // serializes the done counter and OnEvent/OnHeartbeat calls
 	done := 0
 
 	finish := func(i int, elapsed time.Duration) {
@@ -170,13 +226,46 @@ func Execute[R, O any](ctx context.Context, e *Engine, set Set[R, O]) (O, error)
 		}
 	}
 
+	// Heartbeats are progress-only: they run on their own goroutine, read
+	// the done counter under mu, and stop when the set completes. They
+	// never touch results, so enabling them cannot perturb determinism.
+	var hbStop chan struct{}
+	var hbWG sync.WaitGroup
+	if e.HeartbeatEvery > 0 && e.OnHeartbeat != nil {
+		hbStop = make(chan struct{})
+		setElapsed := StartTimer()
+		ticker := time.NewTicker(e.HeartbeatEvery)
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-ticker.C:
+					mu.Lock()
+					e.OnHeartbeat(Heartbeat{Set: set.Name, Done: done, Total: n, Elapsed: setElapsed()})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	for w := e.workerCount(n); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				stop := StartTimer()
-				errs[i] = runScenario(ctx, set.Scenarios[i], &results[i])
+				sctx := WithScenarioInfo(ctx, ScenarioInfo{Set: set.Name, Scenario: set.Scenarios[i].Name})
+				errs[i] = runScenario(sctx, set.Scenarios[i], &results[i])
+				e.bump(func(s *Stats) {
+					s.Scenarios++
+					if errs[i] != nil {
+						s.Failures++
+					}
+				})
 				finish(i, stop())
 			}
 		}()
@@ -186,6 +275,10 @@ func Execute[R, O any](ctx context.Context, e *Engine, set Set[R, O]) (O, error)
 	}
 	close(jobs)
 	wg.Wait()
+	if hbStop != nil {
+		close(hbStop)
+		hbWG.Wait()
+	}
 
 	res := Results[R]{
 		order:  make([]string, n),
@@ -232,6 +325,27 @@ func runScenario[R any](ctx context.Context, s Scenario[R], out *R) (err error) 
 func StartTimer() func() time.Duration {
 	t0 := time.Now()
 	return func() time.Duration { return time.Since(t0) }
+}
+
+// ScenarioInfo names the currently executing scenario; Execute attaches
+// it to the context handed to each Scenario.Run so lower layers
+// (sim.RunCtx's telemetry) can label their output without the scenario
+// closure threading names through by hand.
+type ScenarioInfo struct {
+	Set, Scenario string
+}
+
+type scenarioInfoKey struct{}
+
+// WithScenarioInfo returns a context carrying info.
+func WithScenarioInfo(ctx context.Context, info ScenarioInfo) context.Context {
+	return context.WithValue(ctx, scenarioInfoKey{}, info)
+}
+
+// ScenarioInfoFrom returns the scenario identity attached by Execute.
+func ScenarioInfoFrom(ctx context.Context) (ScenarioInfo, bool) {
+	info, ok := ctx.Value(scenarioInfoKey{}).(ScenarioInfo)
+	return info, ok
 }
 
 // DeriveSeed maps a base seed and a scenario name to a per-scenario seed

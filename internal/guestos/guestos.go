@@ -28,6 +28,7 @@ import (
 
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/core"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/pagetable"
 	"ptemagnet/internal/physmem"
 )
@@ -172,6 +173,22 @@ type Stats struct {
 	THPSplits    uint64
 }
 
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	var d Stats
+	for i := range s.Faults {
+		d.Faults[i] = s.Faults[i] - prev.Faults[i]
+	}
+	d.BuddyCalls = s.BuddyCalls - prev.BuddyCalls
+	d.ReclaimRuns = s.ReclaimRuns - prev.ReclaimRuns
+	d.ReclaimedReservations = s.ReclaimedReservations - prev.ReclaimedReservations
+	d.ReclaimedPages = s.ReclaimedPages - prev.ReclaimedPages
+	d.OOMFallbacks = s.OOMFallbacks - prev.OOMFallbacks
+	d.THPFallbacks = s.THPFallbacks - prev.THPFallbacks
+	d.THPSplits = s.THPSplits - prev.THPSplits
+	return d
+}
+
 // Errors returned by the kernel.
 var (
 	// ErrNoVMA reports an access outside any mapped virtual region — the
@@ -251,6 +268,22 @@ func (k *Kernel) Config() Config { return k.cfg }
 
 // Snapshot returns a copy of the activity counters.
 func (k *Kernel) Snapshot() Stats { return k.stats }
+
+// RegisterObs registers the kernel's counters on r under prefix: one fault
+// counter per kind plus the buddy/reclaim/fallback totals.
+func (k *Kernel) RegisterObs(r *obs.Registry, prefix string) {
+	for kind := FaultKind(0); kind < NumFaultKinds; kind++ {
+		kind := kind
+		r.Counter(prefix+"faults."+kind.String(), func() uint64 { return k.stats.Faults[kind] })
+	}
+	r.Counter(prefix+"buddy_calls", func() uint64 { return k.stats.BuddyCalls })
+	r.Counter(prefix+"reclaim_runs", func() uint64 { return k.stats.ReclaimRuns })
+	r.Counter(prefix+"reclaimed_reservations", func() uint64 { return k.stats.ReclaimedReservations })
+	r.Counter(prefix+"reclaimed_pages", func() uint64 { return k.stats.ReclaimedPages })
+	r.Counter(prefix+"oom_fallbacks", func() uint64 { return k.stats.OOMFallbacks })
+	r.Counter(prefix+"thp_fallbacks", func() uint64 { return k.stats.THPFallbacks })
+	r.Counter(prefix+"thp_splits", func() uint64 { return k.stats.THPSplits })
+}
 
 // Processes returns the live processes in spawn order.
 func (k *Kernel) Processes() []*Process {

@@ -3,7 +3,7 @@
 // at compile time (DESIGN.md §6). It is built only on the standard
 // library's go/ast, go/parser, go/token, and go/types.
 //
-// Four analyzers ship today:
+// Five analyzers ship today:
 //
 //   - detrange: range over a map in non-test code is flagged unless the
 //     loop is the collect-keys-then-sort idiom or carries an annotation.
@@ -20,6 +20,10 @@
 //   - archconst: raw shift/mask/scale literals of the address geometry
 //     (9, 12, 21, 511, 512, 0xFFF, 4096) outside internal/arch are
 //     flagged, pointing at the named constant to use instead.
+//   - statshape: every method named Snapshot must be func() T with T a
+//     named value type carrying Delta(T) T, and every method named Delta
+//     must be func (T) Delta(T) T on a value receiver — the uniform
+//     stats shape the observability layer builds on (DESIGN.md §8).
 //
 // A finding can be waived in place with a written justification:
 //
@@ -69,7 +73,7 @@ type Analyzer struct {
 }
 
 // Analyzers lists every check ptmlint ships, in reporting order.
-var Analyzers = []*Analyzer{Detrange, Noclock, Seedflow, Archconst}
+var Analyzers = []*Analyzer{Detrange, Noclock, Seedflow, Archconst, Statshape}
 
 // Pass hands one package to one analyzer.
 type Pass struct {

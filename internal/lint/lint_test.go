@@ -98,6 +98,7 @@ func TestDetrangeFixture(t *testing.T)  { checkFixture(t, "detrange", Detrange) 
 func TestNoclockFixture(t *testing.T)   { checkFixture(t, "noclock", Noclock) }
 func TestSeedflowFixture(t *testing.T)  { checkFixture(t, "seedflow", Seedflow) }
 func TestArchconstFixture(t *testing.T) { checkFixture(t, "archconst", Archconst) }
+func TestStatshapeFixture(t *testing.T) { checkFixture(t, "statshape", Statshape) }
 
 // TestRepoLintsClean is the contract this PR establishes: the repository
 // as shipped carries zero findings under every analyzer.

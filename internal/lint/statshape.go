@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Statshape enforces the observability API shape of DESIGN.md §8: every
+// stat-bearing component exposes exactly one counter-reading pair,
+//
+//	Snapshot() T          // T a named value type
+//	(T) Delta(prev T) T   // value receiver, windowed difference
+//
+// A Snapshot method with parameters, multiple results, or a pointer/
+// unnamed result is flagged, as is a Snapshot whose result type lacks the
+// matching Delta method, and a Delta method whose signature deviates from
+// func (T) Delta(T) T. One uniform shape is what lets the facade, the
+// telemetry layer, and windowed measurement treat every component the
+// same way.
+var Statshape = &Analyzer{
+	Name: "statshape",
+	Doc:  "enforce the Snapshot() T / T.Delta(T) T stats API shape",
+	Run:  runStatshape,
+}
+
+func runStatshape(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Snapshot":
+				checkSnapshot(p, fd, sig)
+			case "Delta":
+				checkDelta(p, fd, sig)
+			}
+		}
+	}
+}
+
+// checkSnapshot verifies Snapshot() T with T a named non-pointer type
+// carrying a Delta(T) T method.
+func checkSnapshot(p *Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	if sig.Params().Len() != 0 {
+		p.Reportf(fd.Name.Pos(), "Snapshot must take no arguments (the stats contract is Snapshot() T)")
+		return
+	}
+	if sig.Results().Len() != 1 {
+		p.Reportf(fd.Name.Pos(), "Snapshot must return exactly one value (the stats contract is Snapshot() T)")
+		return
+	}
+	rt := sig.Results().At(0).Type()
+	if _, isPtr := rt.(*types.Pointer); isPtr {
+		p.Reportf(fd.Name.Pos(), "Snapshot must return a value, not a pointer: callers rely on snapshots being independent copies")
+		return
+	}
+	if !hasDeltaMethod(rt, p.Pkg.Types) {
+		p.Reportf(fd.Name.Pos(), "Snapshot result type %s has no Delta(%s) %s method: every snapshot type must support windowed measurement",
+			rt, rt, rt)
+	}
+}
+
+// checkDelta verifies func (T) Delta(prev T) T on a value receiver.
+func checkDelta(p *Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	recv := sig.Recv().Type()
+	if _, isPtr := recv.(*types.Pointer); isPtr {
+		p.Reportf(fd.Name.Pos(), "Delta must use a value receiver: deltas are pure functions over two snapshots")
+		return
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 ||
+		!types.Identical(sig.Params().At(0).Type(), recv) ||
+		!types.Identical(sig.Results().At(0).Type(), recv) {
+		p.Reportf(fd.Name.Pos(), "Delta must have signature func (%s) Delta(%s) %s (receiver, parameter, and result all the same snapshot type)",
+			recv, recv, recv)
+	}
+}
+
+// hasDeltaMethod reports whether t's method set (as a value) contains
+// Delta(t) t.
+func hasDeltaMethod(t types.Type, from *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, false, from, "Delta")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return types.Identical(sig.Recv().Type(), t) &&
+		sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Params().At(0).Type(), t) &&
+		types.Identical(sig.Results().At(0).Type(), t)
+}

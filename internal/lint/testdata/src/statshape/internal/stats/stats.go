@@ -1,0 +1,72 @@
+// Package stats exercises the statshape analyzer: every Snapshot method
+// must be func() T with T a named value type carrying Delta(T) T, and
+// every Delta method must be func (T) Delta(T) T on a value receiver.
+package stats
+
+// Good is the canonical snapshot type.
+type Good struct{ N uint64 }
+
+// Delta is the canonical windowed difference.
+func (s Good) Delta(prev Good) Good { return Good{N: s.N - prev.N} }
+
+// Component exposes the canonical pair; no findings.
+type Component struct{ n uint64 }
+
+func (c *Component) Snapshot() Good { return Good{N: c.n} }
+
+// Snapshot as a free function is not part of the contract; ignored.
+func Snapshot() int { return 0 }
+
+// ArgComponent's Snapshot takes an argument.
+type ArgComponent struct{}
+
+func (a *ArgComponent) Snapshot(window int) Good { return Good{} } // want `Snapshot must take no arguments`
+
+// BareComponent's Snapshot returns nothing.
+type BareComponent struct{}
+
+func (b *BareComponent) Snapshot() {} // want `Snapshot must return exactly one value`
+
+// PairComponent's Snapshot returns two values.
+type PairComponent struct{}
+
+func (p *PairComponent) Snapshot() (Good, error) { return Good{}, nil } // want `Snapshot must return exactly one value`
+
+// PtrComponent's Snapshot leaks a pointer into the caller's hands.
+type PtrComponent struct{ s Good }
+
+func (p *PtrComponent) Snapshot() *Good { return &p.s } // want `Snapshot must return a value, not a pointer`
+
+// NoDelta is a snapshot type with no windowed difference.
+type NoDelta struct{ N uint64 }
+
+// OrphanComponent returns a type that cannot express Delta.
+type OrphanComponent struct{}
+
+func (o *OrphanComponent) Snapshot() NoDelta { return NoDelta{} } // want `has no Delta`
+
+// PtrDelta declares Delta on a pointer receiver: not a pure function
+// over two snapshots, and absent from the value method set.
+type PtrDelta struct{ N uint64 }
+
+func (p *PtrDelta) Delta(prev PtrDelta) PtrDelta { return PtrDelta{} } // want `Delta must use a value receiver`
+
+// PtrDeltaComponent returns it; the pair is broken from both ends.
+type PtrDeltaComponent struct{}
+
+func (p *PtrDeltaComponent) Snapshot() PtrDelta { return PtrDelta{} } // want `has no Delta`
+
+// WideDelta takes an extra parameter.
+type WideDelta struct{ N uint64 }
+
+func (w WideDelta) Delta(prev WideDelta, scale int) WideDelta { return WideDelta{} } // want `Delta must have signature`
+
+// CrossDelta differences against a different type.
+type CrossDelta struct{ N uint64 }
+
+func (c CrossDelta) Delta(prev Good) CrossDelta { return CrossDelta{} } // want `Delta must have signature`
+
+// LossyDelta narrows the result type.
+type LossyDelta struct{ N uint64 }
+
+func (l LossyDelta) Delta(prev LossyDelta) uint64 { return l.N - prev.N } // want `Delta must have signature`

@@ -25,9 +25,13 @@
 package nested
 
 import (
+	"fmt"
+	"strings"
+
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/hostos"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/pagetable"
 	"ptemagnet/internal/tlb"
 )
@@ -73,6 +77,18 @@ const (
 	// NumDimensions is the number of walk dimensions.
 	NumDimensions
 )
+
+// String names the dimension.
+func (d Dimension) String() string {
+	switch d {
+	case DimGuest:
+		return "guest"
+	case DimHost:
+		return "host"
+	default:
+		return fmt.Sprintf("Dimension(%d)", uint8(d))
+	}
+}
 
 // Stats aggregates walker activity. All cycle figures are translation-only
 // (data-access cycles are charged by the caller).
@@ -223,6 +239,35 @@ func New(cfg Config, caches *cache.Hierarchy, vm *hostos.VM) *Walker {
 
 // Snapshot returns a copy of the walker counters.
 func (w *Walker) Snapshot() Stats { return w.stats }
+
+// RegisterObs registers the walker's counters on r under prefix: the
+// top-level lookup/walk/fault totals, per-dimension PT-access breakdowns
+// (by serving cache level), and the walk-latency histogram.
+func (w *Walker) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups", func() uint64 { return w.stats.Lookups })
+	r.Counter(prefix+"tlb_hits", func() uint64 { return w.stats.TLBHits })
+	r.Counter(prefix+"walks", func() uint64 { return w.stats.Walks })
+	r.Counter(prefix+"guest_faults", func() uint64 { return w.stats.GuestFaults })
+	r.Counter(prefix+"host_faults", func() uint64 { return w.stats.HostFaults })
+	r.Counter(prefix+"walk_cycles", func() uint64 { return w.stats.WalkCycles })
+	r.Counter(prefix+"ntlb_hits", func() uint64 { return w.stats.NTLBHits })
+	for d := Dimension(0); d < NumDimensions; d++ {
+		d := d
+		dp := prefix + d.String() + "."
+		r.Counter(dp+"accesses", func() uint64 { return w.stats.Accesses[d] })
+		r.Counter(dp+"cycles", func() uint64 { return w.stats.Cycles[d] })
+		r.Counter(dp+"pwc_hits", func() uint64 { return w.stats.PWCHits[d] })
+		for lv := cache.Level(0); lv < cache.NumLevels; lv++ {
+			lv := lv
+			r.Counter(dp+"served."+strings.ToLower(lv.String()), func() uint64 {
+				return w.stats.Served[d][lv]
+			})
+		}
+	}
+	r.Histogram(prefix+"walk_hist", len(Stats{}.WalkHist), func(b int) uint64 {
+		return w.stats.WalkHist[b]
+	})
+}
 
 // TLB exposes the main TLB (for miss-ratio reporting).
 func (w *Walker) TLB() *tlb.TwoLevel { return w.tlb }

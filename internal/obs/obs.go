@@ -1,0 +1,163 @@
+// Package obs is the simulator's observability layer (DESIGN.md §8).
+//
+// It provides a typed counter/histogram registry with a fixed registration
+// order, an ordered Snapshot/Delta pair over the registered counters, and
+// structured per-run telemetry (RunRecord) with deterministic JSON Lines
+// and CSV encodings.
+//
+// The design keeps the hot path untouched: components bump plain uint64
+// struct fields in their inner loops exactly as before, and the registry
+// holds read closures over those fields. Reading a counter therefore
+// happens only at snapshot boundaries (end of run, inspection tools), and
+// registering counters allocates nothing on the access path. All ordering
+// is fixed at registration time — no map iteration anywhere near output —
+// so two runs of the same configuration produce byte-identical encodings.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Registry is an ordered collection of named uint64 counters. Counters are
+// registered once, at machine construction time, and read through closures
+// when a Snapshot is taken. Registration order is the output order
+// everywhere (Snapshot iteration, JSON, CSV), so it must be deterministic:
+// register counters in fixed code order, never from a map range.
+//
+// A Registry is not safe for concurrent registration; snapshots are safe
+// as long as the underlying counters are not being written (the simulator
+// guarantees this by snapshotting only between runs, never mid-quantum).
+type Registry struct {
+	names []string
+	reads []func() uint64
+	index map[string]int // registration-time duplicate check only
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// Counter registers a named counter backed by read. It panics on an empty
+// name, a nil reader, or a duplicate name — all programming errors that
+// must fail loudly at construction time.
+func (r *Registry) Counter(name string, read func() uint64) {
+	if name == "" {
+		panic("obs: empty counter name")
+	}
+	if read == nil {
+		panic(fmt.Sprintf("obs: nil reader for counter %q", name))
+	}
+	if _, dup := r.index[name]; dup {
+		panic(fmt.Sprintf("obs: counter %q registered twice", name))
+	}
+	r.index[name] = len(r.names)
+	r.names = append(r.names, name)
+	r.reads = append(r.reads, read)
+}
+
+// Histogram registers buckets consecutive counters named name[0..buckets),
+// each reading one bucket of a fixed-size histogram.
+func (r *Registry) Histogram(name string, buckets int, read func(bucket int) uint64) {
+	if read == nil {
+		panic(fmt.Sprintf("obs: nil reader for histogram %q", name))
+	}
+	for i := 0; i < buckets; i++ {
+		i := i
+		r.Counter(name+"["+strconv.Itoa(i)+"]", func() uint64 { return read(i) })
+	}
+}
+
+// Len returns the number of registered counters.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Names returns the counter names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Snapshot reads every counter once, in registration order.
+func (r *Registry) Snapshot() Snapshot {
+	vals := make([]uint64, len(r.reads))
+	for i, read := range r.reads {
+		vals[i] = read()
+	}
+	return Snapshot{names: r.names, vals: vals}
+}
+
+// Snapshot is a point-in-time reading of a registry: parallel name/value
+// slices in registration order. The zero Snapshot acts as "all zeros" for
+// Delta, so s.Delta(Snapshot{}) == s.
+type Snapshot struct {
+	names []string // shared with the registry; never mutated
+	vals  []uint64
+}
+
+// Len returns the number of counters in the snapshot.
+func (s Snapshot) Len() int { return len(s.vals) }
+
+// Name returns the i-th counter name.
+func (s Snapshot) Name(i int) string { return s.names[i] }
+
+// Value returns the i-th counter value.
+func (s Snapshot) Value(i int) uint64 { return s.vals[i] }
+
+// Get returns the value of the named counter by linear scan. It is a
+// convenience for tests and tools; hot paths should never look counters up
+// by name.
+func (s Snapshot) Get(name string) (uint64, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return s.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Each calls fn for every counter in registration order.
+func (s Snapshot) Each(fn func(name string, value uint64)) {
+	for i, n := range s.names {
+		fn(n, s.vals[i])
+	}
+}
+
+// Delta returns the counter-wise difference s - prev. The zero Snapshot is
+// accepted as prev and treated as all zeros; otherwise prev must come from
+// the same registry (same names in the same order), and a mismatch panics.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	if prev.Len() == 0 && prev.names == nil {
+		return Snapshot{names: s.names, vals: append([]uint64(nil), s.vals...)}
+	}
+	if len(prev.vals) != len(s.vals) {
+		panic(fmt.Sprintf("obs: Delta over mismatched snapshots (%d vs %d counters)", len(s.vals), len(prev.vals)))
+	}
+	vals := make([]uint64, len(s.vals))
+	for i := range s.vals {
+		if s.names[i] != prev.names[i] {
+			panic(fmt.Sprintf("obs: Delta over mismatched snapshots (%q vs %q at index %d)", s.names[i], prev.names[i], i))
+		}
+		vals[i] = s.vals[i] - prev.vals[i]
+	}
+	return Snapshot{names: s.names, vals: vals}
+}
+
+// MarshalJSON encodes the snapshot as a JSON object whose keys appear in
+// registration order. Key order is part of the determinism contract: the
+// same configuration must produce byte-identical output.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return s.appendJSON(nil), nil
+}
+
+func (s Snapshot) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	for i, n := range s.names {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, n)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, s.vals[i], 10)
+	}
+	return append(b, '}')
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testRegistry(a, b *uint64, hist *[4]uint64) *Registry {
+	r := NewRegistry()
+	r.Counter("alpha", func() uint64 { return *a })
+	r.Counter("beta", func() uint64 { return *b })
+	r.Histogram("hist", len(hist), func(i int) uint64 { return hist[i] })
+	return r
+}
+
+func TestRegistryOrderAndSnapshot(t *testing.T) {
+	var a, b uint64 = 3, 5
+	hist := [4]uint64{1, 2, 3, 4}
+	r := testRegistry(&a, &b, &hist)
+	want := []string{"alpha", "beta", "hist[0]", "hist[1]", "hist[2]", "hist[3]"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	s := r.Snapshot()
+	if s.Len() != len(want) {
+		t.Fatalf("snapshot has %d counters, want %d", s.Len(), len(want))
+	}
+	if v, ok := s.Get("beta"); !ok || v != 5 {
+		t.Fatalf("Get(beta) = %d, %v", v, ok)
+	}
+	if v, ok := s.Get("hist[2]"); !ok || v != 3 {
+		t.Fatalf("Get(hist[2]) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+	// Snapshots are point-in-time: later bumps must not leak in.
+	a = 100
+	if v, _ := s.Get("alpha"); v != 3 {
+		t.Fatalf("snapshot mutated after counter bump: alpha = %d", v)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", func() uint64 { return 0 })
+	r.Counter("x", func() uint64 { return 0 })
+}
+
+func TestSnapshotDeltaRoundTrip(t *testing.T) {
+	var a, b uint64 = 10, 20
+	hist := [4]uint64{7, 0, 0, 9}
+	r := testRegistry(&a, &b, &hist)
+	prev := r.Snapshot()
+	a, b, hist[3] = 15, 21, 12
+	cur := r.Snapshot()
+
+	// Identity: delta against the zero snapshot is the snapshot itself.
+	if d := cur.Delta(Snapshot{}); !reflect.DeepEqual(d.vals, cur.vals) {
+		t.Fatalf("Delta(zero) = %v, want %v", d.vals, cur.vals)
+	}
+	// Self-delta is all zeros.
+	for i, v := range cur.Delta(cur).vals {
+		if v != 0 {
+			t.Fatalf("Delta(self)[%d] = %d, want 0", i, v)
+		}
+	}
+	// prev + (cur - prev) == cur, counter-wise.
+	d := cur.Delta(prev)
+	for i := range cur.vals {
+		if prev.vals[i]+d.vals[i] != cur.vals[i] {
+			t.Fatalf("round trip failed at %s: %d + %d != %d",
+				cur.Name(i), prev.vals[i], d.vals[i], cur.vals[i])
+		}
+	}
+}
+
+func TestSnapshotDeltaMismatchPanics(t *testing.T) {
+	var a, b uint64
+	hist := [4]uint64{}
+	r1 := testRegistry(&a, &b, &hist)
+	r2 := NewRegistry()
+	r2.Counter("other", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Delta did not panic")
+		}
+	}()
+	r1.Snapshot().Delta(r2.Snapshot())
+}
+
+func TestSnapshotJSONOrdered(t *testing.T) {
+	var a, b uint64 = 1, 2
+	hist := [4]uint64{0, 0, 0, 4}
+	r := testRegistry(&a, &b, &hist)
+	got, err := r.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":1,"beta":2,"hist[0]":0,"hist[1]":0,"hist[2]":0,"hist[3]":4}`
+	if string(got) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", got, want)
+	}
+}
+
+func TestRunRecordJSON(t *testing.T) {
+	var a, b uint64 = 1, 2
+	hist := [4]uint64{}
+	r := testRegistry(&a, &b, &hist)
+	rec := RunRecord{
+		Set: "table1", Scenario: "colocated", Fingerprint: "00aa", ElapsedMS: 42,
+		Counters: r.Snapshot(),
+	}
+	got, err := rec.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"set":"table1","scenario":"colocated","fingerprint":"00aa","elapsed_ms":42,` +
+		`"counters":{"alpha":1,"beta":2,"hist[0]":0,"hist[1]":0,"hist[2]":0,"hist[3]":0}}`
+	if string(got) != want {
+		t.Fatalf("MarshalJSON =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestCollectorSortsIndependentOfAddOrder(t *testing.T) {
+	mk := func(set, sc, fp string) RunRecord {
+		return RunRecord{Set: set, Scenario: sc, Fingerprint: fp}
+	}
+	recs := []RunRecord{
+		mk("suite", "cc/r0/default", "bb"),
+		mk("suite", "cc/r0/default", "aa"),
+		mk("table1", "isolation", "cc"),
+		mk("suite", "bfs/r0/default", "dd"),
+	}
+	var c1, c2 Collector
+	for _, r := range recs {
+		c1.Add(r)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		c2.Add(recs[i])
+	}
+	got1, got2 := c1.Records(), c2.Records()
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatalf("sorted records depend on add order:\n%v\n%v", got1, got2)
+	}
+	wantOrder := []string{"bfs/r0/default", "cc/r0/default", "cc/r0/default", "isolation"}
+	for i, r := range got1 {
+		if r.Scenario != wantOrder[i] {
+			t.Fatalf("record %d is %q, want %q", i, r.Scenario, wantOrder[i])
+		}
+	}
+	if got1[1].Fingerprint != "aa" || got1[2].Fingerprint != "bb" {
+		t.Fatalf("fingerprint tiebreak not applied: %v", got1)
+	}
+}
+
+func TestWriteJSONLAndCSV(t *testing.T) {
+	var a, b uint64 = 9, 4
+	hist := [4]uint64{}
+	r := testRegistry(&a, &b, &hist)
+	recs := []RunRecord{
+		{Set: "s", Scenario: "x", Fingerprint: "f1", ElapsedMS: 1, Counters: r.Snapshot()},
+		{Set: "s", Scenario: "y", Fingerprint: "f2", ElapsedMS: 2, Counters: r.Snapshot()},
+	}
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(jl.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], `{"set":"s","scenario":"x"`) {
+		t.Fatalf("unexpected first line: %s", lines[0])
+	}
+
+	var cs bytes.Buffer
+	if err := WriteCSV(&cs, recs); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(cs.String(), "\n"), "\n")
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want 3", len(rows))
+	}
+	if rows[0] != "set,scenario,fingerprint,elapsed_ms,alpha,beta,hist[0],hist[1],hist[2],hist[3]" {
+		t.Fatalf("unexpected CSV header: %s", rows[0])
+	}
+	if rows[1] != "s,x,f1,1,9,4,0,0,0,0" {
+		t.Fatalf("unexpected CSV row: %s", rows[1])
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := Fingerprint("pagerank", "default")
+	b := Fingerprint("pagerank", "default")
+	if a != b {
+		t.Fatalf("fingerprint not stable: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint length %d, want 16", len(a))
+	}
+	if Fingerprint("pagerank", "default") == Fingerprint("pagerankdefault") {
+		t.Fatal("fingerprint does not separate parts")
+	}
+}
+
+func TestCollectorContext(t *testing.T) {
+	if CollectorFrom(context.Background()) != nil {
+		t.Fatal("empty context returned a collector")
+	}
+	c := &Collector{}
+	ctx := WithCollector(context.Background(), c)
+	if CollectorFrom(ctx) != c {
+		t.Fatal("collector did not round-trip through context")
+	}
+}

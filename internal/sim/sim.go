@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
+	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/vm"
 	"ptemagnet/internal/workload"
 )
@@ -161,9 +164,31 @@ type Scenario struct {
 	PTLevels int
 }
 
+// Fingerprint hashes the full scenario configuration into the telemetry
+// identity carried by every RunRecord. Two scenarios fingerprint equal iff
+// their configurations (including seed and scale) are identical.
+func (s Scenario) Fingerprint() string {
+	return obs.Fingerprint(fmt.Sprintf("%+v", s))
+}
+
+// Identity returns a human-readable scenario label, used as the telemetry
+// scenario name when RunCtx executes outside an engine set (no
+// engine.ScenarioInfo on the context).
+func (s Scenario) Identity() string {
+	name := s.Benchmark
+	if len(s.Corunners) > 0 {
+		name += "+" + strings.Join(s.Corunners, ",")
+	}
+	return name + "/" + s.Policy.String()
+}
+
 // Result bundles everything measured in one run.
 type Result struct {
 	Scenario Scenario
+	// Report is the machine's aggregated observation: whole-run and
+	// steady-window counters for every component plus per-primary task
+	// reports (DESIGN.md §8).
+	Report vm.Report
 	// Task is the primary benchmark's report.
 	Task vm.TaskReport
 	// Walk holds the steady-window walker counters.
@@ -234,7 +259,14 @@ func BuildMachine(s Scenario) (*vm.Machine, error) {
 // RunCtx executes one scenario under a cancellable context. Each call
 // builds its own machine, so concurrent RunCtx calls (the engine's
 // parallel runner) share no mutable state.
+//
+// When the context carries an obs.Collector (obs.WithCollector), RunCtx
+// emits one RunRecord per run: the scenario identity (from the engine's
+// ScenarioInfo when executing inside a set), the configuration
+// fingerprint, the wall-clock time measured through engine.StartTimer,
+// and the machine's full counter registry.
 func RunCtx(ctx context.Context, s Scenario) (Result, error) {
+	stop := engine.StartTimer()
 	m, err := BuildMachine(s)
 	if err != nil {
 		return Result{}, err
@@ -253,11 +285,13 @@ func RunCtx(ctx context.Context, s Scenario) (Result, error) {
 	}); err != nil {
 		return Result{}, err
 	}
+	report := m.Observe()
 	res := Result{
 		Scenario:       s,
-		Task:           m.Report()[0],
-		Walk:           m.SteadyWalkStats(),
-		Guest:          m.Guest().Snapshot(),
+		Report:         report,
+		Task:           report.Tasks[0],
+		Walk:           report.Steady.Walker,
+		Guest:          report.Whole.Guest,
 		UnusedMax:      m.UnusedSeries().Max(),
 		UnusedMean:     m.UnusedSeries().Mean(),
 		FootprintPages: task.Process().RSS(),
@@ -266,6 +300,19 @@ func RunCtx(ctx context.Context, s Scenario) (Result, error) {
 		res.MagnetStats = part.Snapshot()
 	}
 	res.LargeMappings = task.Process().PageTable().LargeMappings()
+	if c := obs.CollectorFrom(ctx); c != nil {
+		rec := obs.RunRecord{
+			Set:         "adhoc",
+			Scenario:    s.Identity(),
+			Fingerprint: s.Fingerprint(),
+			ElapsedMS:   stop().Milliseconds(),
+			Counters:    m.Registry().Snapshot(),
+		}
+		if info, ok := engine.ScenarioInfoFrom(ctx); ok {
+			rec.Set, rec.Scenario = info.Set, info.Scenario
+		}
+		c.Add(rec)
+	}
 	return res, nil
 }
 

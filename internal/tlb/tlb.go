@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/obs"
 )
 
 // Entry is a cached translation: virtual page number to physical frame
@@ -161,11 +162,30 @@ func (t *TLB) Flush() {
 	}
 }
 
+// Stats holds one level's counters (DESIGN.md §8).
+type Stats struct {
+	// Lookups counts probes; Hits counts the successful ones.
+	Lookups uint64
+	Hits    uint64
+}
+
+// Delta returns the counter-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{Lookups: s.Lookups - prev.Lookups, Hits: s.Hits - prev.Hits}
+}
+
+// Snapshot returns the counters accumulated since creation.
+func (t *TLB) Snapshot() Stats { return Stats{Lookups: t.lookups, Hits: t.hits} }
+
 // Lookups returns the number of probes performed.
-func (t *TLB) Lookups() uint64 { return t.lookups }
+//
+// Deprecated: use Snapshot().Lookups.
+func (t *TLB) Lookups() uint64 { return t.Snapshot().Lookups }
 
 // Hits returns the number of successful probes.
-func (t *TLB) Hits() uint64 { return t.hits }
+//
+// Deprecated: use Snapshot().Hits.
+func (t *TLB) Hits() uint64 { return t.Snapshot().Hits }
 
 // TwoLevelConfig sizes a two-level TLB.
 type TwoLevelConfig struct {
@@ -249,17 +269,60 @@ func (t *TwoLevel) Flush() {
 	t.l2.Flush()
 }
 
-// Lookups returns the number of top-level probes.
-func (t *TwoLevel) Lookups() uint64 { return t.lookups }
+// TwoLevelStats holds the combined counters of a two-level TLB
+// (DESIGN.md §8).
+type TwoLevelStats struct {
+	// Lookups counts top-level probes; L1Hits/L2Hits the level that served
+	// each hit.
+	Lookups uint64
+	L1Hits  uint64
+	L2Hits  uint64
+}
 
 // Misses returns the number of probes that missed both levels — each miss
 // costs a full nested page walk.
-func (t *TwoLevel) Misses() uint64 { return t.lookups - t.l1Hits - t.l2Hits }
+func (s TwoLevelStats) Misses() uint64 { return s.Lookups - s.L1Hits - s.L2Hits }
 
 // MissRatio returns Misses/Lookups, or 0 before any lookup.
-func (t *TwoLevel) MissRatio() float64 {
-	if t.lookups == 0 {
+func (s TwoLevelStats) MissRatio() float64 {
+	if s.Lookups == 0 {
 		return 0
 	}
-	return float64(t.Misses()) / float64(t.lookups)
+	return float64(s.Misses()) / float64(s.Lookups)
 }
+
+// Delta returns the counter-wise difference s - prev.
+func (s TwoLevelStats) Delta(prev TwoLevelStats) TwoLevelStats {
+	return TwoLevelStats{
+		Lookups: s.Lookups - prev.Lookups,
+		L1Hits:  s.L1Hits - prev.L1Hits,
+		L2Hits:  s.L2Hits - prev.L2Hits,
+	}
+}
+
+// Snapshot returns the counters accumulated since creation.
+func (t *TwoLevel) Snapshot() TwoLevelStats {
+	return TwoLevelStats{Lookups: t.lookups, L1Hits: t.l1Hits, L2Hits: t.l2Hits}
+}
+
+// RegisterObs registers the two-level TLB's counters on r under prefix.
+func (t *TwoLevel) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups", func() uint64 { return t.lookups })
+	r.Counter(prefix+"l1_hits", func() uint64 { return t.l1Hits })
+	r.Counter(prefix+"l2_hits", func() uint64 { return t.l2Hits })
+}
+
+// Lookups returns the number of top-level probes.
+//
+// Deprecated: use Snapshot().Lookups.
+func (t *TwoLevel) Lookups() uint64 { return t.Snapshot().Lookups }
+
+// Misses returns the number of probes that missed both levels.
+//
+// Deprecated: use Snapshot().Misses.
+func (t *TwoLevel) Misses() uint64 { return t.Snapshot().Misses() }
+
+// MissRatio returns Misses/Lookups, or 0 before any lookup.
+//
+// Deprecated: use Snapshot().MissRatio.
+func (t *TwoLevel) MissRatio() float64 { return t.Snapshot().MissRatio() }

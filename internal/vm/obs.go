@@ -1,0 +1,113 @@
+// Observability for the assembled machine (DESIGN.md §8): one aggregated
+// Stats snapshot across every stat-bearing component, the Report returned
+// to the facade, and the named counter registry behind run telemetry.
+package vm
+
+import (
+	"ptemagnet/internal/buddy"
+	"ptemagnet/internal/cache"
+	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/nested"
+	"ptemagnet/internal/obs"
+	"ptemagnet/internal/tlb"
+)
+
+// Stats aggregates every counter the machine owns: its own access total
+// plus the per-component stats, each following the Snapshot/Delta
+// contract.
+type Stats struct {
+	// Accesses is the machine-wide executed access count.
+	Accesses uint64
+	// Walker holds the nested page-walker counters.
+	Walker nested.Stats
+	// Cache holds the data-cache hierarchy counters.
+	Cache cache.Stats
+	// TLB holds the main two-level TLB counters.
+	TLB tlb.TwoLevelStats
+	// Guest holds the guest kernel counters.
+	Guest guestos.Stats
+	// GuestBuddy and HostBuddy hold the two buddy allocators' counters.
+	GuestBuddy buddy.Stats
+	HostBuddy  buddy.Stats
+}
+
+// Delta returns the component-wise difference s - prev.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - prev.Accesses,
+		Walker:     s.Walker.Delta(prev.Walker),
+		Cache:      s.Cache.Delta(prev.Cache),
+		TLB:        s.TLB.Delta(prev.TLB),
+		Guest:      s.Guest.Delta(prev.Guest),
+		GuestBuddy: s.GuestBuddy.Delta(prev.GuestBuddy),
+		HostBuddy:  s.HostBuddy.Delta(prev.HostBuddy),
+	}
+}
+
+// Snapshot reads every component's counters at once.
+func (m *Machine) Snapshot() Stats {
+	return Stats{
+		Accesses:   m.totalAccesses,
+		Walker:     m.walker.Snapshot(),
+		Cache:      m.hier.Snapshot(),
+		TLB:        m.walker.TLB().Snapshot(),
+		Guest:      m.guest.Snapshot(),
+		GuestBuddy: m.guest.Memory().Buddy().Snapshot(),
+		HostBuddy:  m.host.Memory().Buddy().Snapshot(),
+	}
+}
+
+// steadyStats returns the counters accumulated after the primary-init
+// boundary (the whole run if the boundary was never reached).
+func (m *Machine) steadyStats() Stats {
+	whole := m.Snapshot()
+	if !m.steadySnapTaken {
+		return whole
+	}
+	return whole.Delta(m.statsAtInit)
+}
+
+// Report is the aggregated observation of one machine after a run: the
+// whole-run and steady-window counters plus the per-primary task reports
+// (including host-PT fragmentation).
+type Report struct {
+	// Whole holds counters for the entire run; Steady for the §3.3
+	// measurement window (after every primary's init boundary).
+	Whole  Stats
+	Steady Stats
+	// Tasks holds one report per primary task, in task order.
+	Tasks []TaskReport
+}
+
+// Observe assembles the machine's aggregated report. It walks page tables
+// to compute per-task fragmentation, so it is a post-run call, not a
+// hot-path one.
+func (m *Machine) Observe() Report {
+	whole := m.Snapshot()
+	steady := whole
+	if m.steadySnapTaken {
+		steady = whole.Delta(m.statsAtInit)
+	}
+	return Report{Whole: whole, Steady: steady, Tasks: m.Report()}
+}
+
+// Registry returns the machine's named counter registry, built on first
+// use. Registration order is fixed by code order here — never reordered,
+// only appended to — because it is the output order of every telemetry
+// encoding. The registry holds read closures over the components' own
+// counter fields: the hot loop keeps bumping plain struct fields, and
+// counters are only read when a snapshot is taken.
+func (m *Machine) Registry() *obs.Registry {
+	if m.registry == nil {
+		r := obs.NewRegistry()
+		r.Counter("machine.accesses", func() uint64 { return m.totalAccesses })
+		m.walker.RegisterObs(r, "walker.")
+		m.walker.TLB().RegisterObs(r, "tlb.")
+		m.hier.RegisterObs(r, "cache.")
+		m.guest.RegisterObs(r, "guest.")
+		m.guest.Memory().Buddy().RegisterObs(r, "buddy.guest.")
+		m.host.Memory().Buddy().RegisterObs(r, "buddy.host.")
+		m.registry = r
+	}
+	return m.registry
+}

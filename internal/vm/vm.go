@@ -24,6 +24,7 @@ import (
 	"ptemagnet/internal/hostos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/workload"
 )
 
@@ -328,11 +329,13 @@ type Machine struct {
 	accBuf []workload.Access
 	recBuf []AccessRecord
 
-	// Steady-window snapshots, taken when every primary reaches its init
+	// Steady-window snapshot, taken when every primary reaches its init
 	// boundary (the §3.3 measurement start).
 	steadySnapTaken bool
-	walkAtInit      nested.Stats
-	hierAtInit      [cache.NumLevels]uint64
+	statsAtInit     Stats
+
+	// registry is the named counter view, built lazily by Registry.
+	registry *obs.Registry
 }
 
 // maxBatch caps the per-turn batch buffer: a quantum larger than this is
@@ -503,8 +506,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 		}
 		if !m.steadySnapTaken && m.primariesInitDone() {
 			m.steadySnapTaken = true
-			m.walkAtInit = m.walker.Snapshot()
-			m.hierAtInit = m.hier.HitCounts()
+			m.statsAtInit = m.Snapshot()
 			if opts.StopCorunnersAtPrimaryInit {
 				corunnersActive = false
 			}
@@ -703,23 +705,18 @@ type TaskReport struct {
 
 // SteadyWalkStats returns the walker counters accumulated after the
 // primary-init boundary (the whole run if the boundary was never reached).
+//
+// Deprecated: use Observe().Steady.Walker.
 func (m *Machine) SteadyWalkStats() nested.Stats {
-	if !m.steadySnapTaken {
-		return m.walker.Snapshot()
-	}
-	return m.walker.Snapshot().Delta(m.walkAtInit)
+	return m.steadyStats().Walker
 }
 
 // SteadyCacheHits returns per-level cache hit counts after the primary-init
 // boundary.
+//
+// Deprecated: use Observe().Steady.Cache.Hits.
 func (m *Machine) SteadyCacheHits() [cache.NumLevels]uint64 {
-	hits := m.hier.HitCounts()
-	if m.steadySnapTaken {
-		for i := range hits {
-			hits[i] -= m.hierAtInit[i]
-		}
-	}
-	return hits
+	return m.steadyStats().Cache.Hits
 }
 
 // Report assembles the post-run measurements for every primary task.

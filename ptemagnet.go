@@ -41,6 +41,7 @@ import (
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
+	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
 	"ptemagnet/internal/trace"
 	"ptemagnet/internal/vm"
@@ -250,12 +251,52 @@ type (
 	// Scenario is one measured configuration (benchmark × co-runners ×
 	// policy).
 	Scenario = sim.Scenario
-	// ScenarioResult is everything measured in one run.
+	// ScenarioResult is everything measured in one run. Its Report field
+	// is the aggregated observation of the machine.
 	ScenarioResult = sim.Result
 	// Scale sets experiment sizing.
 	Scale = sim.Scale
 	// FragReport is the §3.2 host-PT fragmentation metric.
 	FragReport = metrics.FragReport
+)
+
+// Observability (DESIGN.md §8). Every stat-bearing component follows one
+// API shape — Snapshot() T to read its counters, T.Delta(prev T) for
+// windowed measurement — and Report aggregates them all: walker + cache +
+// TLB + guest kernel + both buddy allocators + per-task fragmentation.
+// Run*Ctx entry points return it in ScenarioResult.Report; Machine.Observe
+// produces one for custom experiments. The scattered per-subsystem
+// accessors (Machine.SteadyWalkStats, Machine.SteadyCacheHits, the
+// cache/TLB getter methods) remain as deprecated wrappers over the same
+// data.
+type (
+	// Report is the aggregated observation of one machine after a run.
+	Report = vm.Report
+	// MachineStats is one Snapshot of every counter the machine owns.
+	MachineStats = vm.Stats
+	// CounterRegistry is the machine's named counter view
+	// (Machine.Registry); its Snapshot backs run telemetry.
+	CounterRegistry = obs.Registry
+	// CounterSnapshot is an ordered point-in-time counter reading.
+	CounterSnapshot = obs.Snapshot
+	// RunRecord is the per-scenario telemetry record emitted by the
+	// Run*Ctx functions when a RunCollector is attached to the context.
+	RunRecord = obs.RunRecord
+	// RunCollector accumulates RunRecords across concurrent scenarios.
+	RunCollector = obs.Collector
+)
+
+// WithRunCollector returns a context that makes every Run*Ctx scenario
+// executed under it emit a RunRecord to c.
+func WithRunCollector(ctx context.Context, c *RunCollector) context.Context {
+	return obs.WithCollector(ctx, c)
+}
+
+// Telemetry encoders: one JSON object per line, or CSV with one column
+// per counter (see EXPERIMENTS.md for the schema).
+var (
+	WriteRunRecordsJSONL = obs.WriteJSONL
+	WriteRunRecordsCSV   = obs.WriteCSV
 )
 
 // Benchmark and co-runner names accepted by RunScenario.
@@ -296,6 +337,11 @@ type (
 	Engine = engine.Engine
 	// EngineEvent is one per-scenario progress report (Engine.OnEvent).
 	EngineEvent = engine.Event
+	// EngineHeartbeat is the periodic in-flight progress report
+	// (Engine.OnHeartbeat, enabled by Engine.HeartbeatEvery).
+	EngineHeartbeat = engine.Heartbeat
+	// EngineStats counts the engine's lifetime activity (Engine.Snapshot).
+	EngineStats = engine.Stats
 )
 
 // NewEngine returns an engine with the given worker count (<= 0 means
