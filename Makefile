@@ -19,12 +19,13 @@ lint:
 test:
 	$(GO) test ./...
 
-# The engine's determinism contract and the simulator's per-scenario
-# isolation are the two properties the race detector guards; the heavy
-# simulation packages elsewhere are race-free by construction (no
+# The engine's determinism contract, the simulator's per-scenario
+# isolation, and the multi-tenant machine tests (whose scenarios run under
+# the parallel engine) are the properties the race detector guards; the
+# heavy simulation packages elsewhere are race-free by construction (no
 # goroutines) and would only slow this down.
 race:
-	$(GO) test -race ./internal/engine ./internal/sim
+	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm
 
 # The Pipeline* benchmarks track the batched hot path against the legacy
 # one-access adapter at three layers (workload step, walker fast path, full
@@ -48,6 +49,8 @@ experiments:
 # Telemetry determinism check (DESIGN.md §8): a quick sweep serial and
 # with 4 workers must emit byte-identical RunRecord JSONL once
 # elapsed_ms — the one sanctioned nondeterministic field — is masked.
+# Covers both the single-VM table1 set and the multi-tenant sweep, whose
+# cross-VM round-robin and churn events are the newest determinism surface.
 OBS_SMOKE_DIR ?= $(or $(TMPDIR),/tmp)
 obs-smoke:
 	$(GO) run ./cmd/experiments -quick -exp table1 -parallel 1 -telemetry $(OBS_SMOKE_DIR)/obs-serial.jsonl
@@ -55,4 +58,9 @@ obs-smoke:
 	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-serial.jsonl > $(OBS_SMOKE_DIR)/obs-serial.masked.jsonl
 	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-parallel.masked.jsonl
 	diff $(OBS_SMOKE_DIR)/obs-serial.masked.jsonl $(OBS_SMOKE_DIR)/obs-parallel.masked.jsonl
-	@echo "obs-smoke: telemetry identical for 1 vs 4 workers"
+	$(GO) run ./cmd/experiments -quick -exp multitenant -parallel 1 -telemetry $(OBS_SMOKE_DIR)/obs-mt-serial.jsonl
+	$(GO) run ./cmd/experiments -quick -exp multitenant -parallel 4 -telemetry $(OBS_SMOKE_DIR)/obs-mt-parallel.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mt-serial.jsonl > $(OBS_SMOKE_DIR)/obs-mt-serial.masked.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mt-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-mt-parallel.masked.jsonl
+	diff $(OBS_SMOKE_DIR)/obs-mt-serial.masked.jsonl $(OBS_SMOKE_DIR)/obs-mt-parallel.masked.jsonl
+	@echo "obs-smoke: telemetry identical for 1 vs 4 workers (table1 + multitenant)"

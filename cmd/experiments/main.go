@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation]
-//	            [-quick] [-seed N] [-parallel N] [-progress]
+//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation|multitenant]
+//	            [-quick] [-seed N] [-parallel N] [-progress] [-vms N]
 //	            [-telemetry run.jsonl] [-telemetry-csv run.csv]
 //	            [-heartbeat 30s] [-pprof localhost:6060]
+//
+// -exp multitenant runs the multi-VM sweep (2/4/8 VMs on one shared host,
+// plus a VM-churn scenario); it is not part of "all". -vms narrows the
+// sweep to one VM count.
 //
 // fig5 and fig6 come from the same runs (the objdet suite) and print
 // together. With -quick the reduced test scale is used (seconds instead of
@@ -44,9 +48,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, table4, sec62, sec64, ablation")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, table4, sec62, sec64, ablation, multitenant")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
 	seed := flag.Int64("seed", 11, "simulation seed")
+	vms := flag.Int("vms", 0, "multitenant only: run a single VM count (2, 4 or 8; 0 = the full sweep)")
 	parallel := flag.Int("parallel", 0, "concurrent scenarios per experiment (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-scenario completion on stderr")
 	telemetry := flag.String("telemetry", "", "write per-scenario RunRecords as JSON Lines to this file")
@@ -198,6 +203,20 @@ func main() {
 		})
 		run("Ablation: enable threshold", func() (fmt.Stringer, error) {
 			r, err := sim.RunThresholdDemo(sc, *seed)
+			return r, err
+		})
+	}
+
+	// The multi-tenant sweep is opt-in (-exp multitenant), not part of
+	// "all": it measures the cross-VM packing, not a paper table, and
+	// keeping it out of "all" keeps that output stable.
+	if *exp == "multitenant" {
+		run("Multi-tenant host (N VMs, shared host)", func() (fmt.Stringer, error) {
+			var counts []int
+			if *vms > 0 {
+				counts = []int{*vms}
+			}
+			r, err := sim.RunMultiTenantCtx(ctx, eng, sc, *seed, counts)
 			return r, err
 		})
 	}

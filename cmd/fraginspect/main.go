@@ -9,9 +9,15 @@
 // counter — free-list shape, per-page contiguity — is read from the
 // components directly.
 //
+// With -vms N (N > 1) the same study runs on a multi-tenant host: the
+// primary benchmark boots in vm0 (with the chosen -policy) and each
+// co-runner gets its own default-policy pressure VM, so the layout dump
+// shows cross-VM interleaving on the shared host instead of same-guest
+// colocation.
+//
 // Usage:
 //
-//	fraginspect -bench pagerank -corunners stress-ng -policy default [-json]
+//	fraginspect -bench pagerank -corunners stress-ng -policy default [-vms N] [-json]
 package main
 
 import (
@@ -37,8 +43,12 @@ func main() {
 	policy := flag.String("policy", "default", "allocator policy: default or ptemagnet")
 	seed := flag.Int64("seed", 11, "simulation seed")
 	quick := flag.Bool("quick", true, "use the reduced quick scale")
+	vms := flag.Int("vms", 1, "number of VMs: 1 = same-guest colocation; N>1 puts the primary in vm0 and each co-runner in its own pressure VM")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text dump")
 	flag.Parse()
+	if *vms < 1 {
+		fatal(fmt.Errorf("-vms must be >= 1, got %d", *vms))
+	}
 
 	sc := sim.DefaultScale()
 	if *quick {
@@ -49,13 +59,7 @@ func main() {
 		pol = guestos.PolicyPTEMagnet
 	}
 
-	cfg := vm.DefaultConfig()
-	cfg.HostMemBytes = sc.HostMemBytes
-	cfg.GuestMemBytes = sc.GuestMemBytes
-	cfg.Policy = pol
-	cfg.Seed = *seed
-	cfg.Quantum = 2
-	m, err := vm.New(cfg)
+	m, err := buildMachine(sc, pol, *seed, *vms)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,7 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if _, err := m.AddTask(prog, vm.RolePrimary); err != nil {
+	if _, err := m.Guests()[0].AddTask(prog, vm.RolePrimary); err != nil {
 		fatal(err)
 	}
 	if *corunners != "" {
@@ -72,7 +76,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if _, err := m.AddTask(co, vm.RoleCorunner); err != nil {
+			// Same guest as the primary when single-VM; otherwise each
+			// co-runner rotates through the pressure VMs.
+			g := m.Guests()[0]
+			if *vms > 1 {
+				g = m.Guests()[1+i%(*vms-1)]
+			}
+			if _, err := g.AddTask(co, vm.RoleCorunner); err != nil {
 				fatal(err)
 			}
 		}
@@ -91,21 +101,53 @@ func main() {
 	for _, task := range m.Tasks() {
 		dumpProcess(m, task)
 	}
-	dumpBuddy(m, rep.Whole.GuestBuddy)
+	dumpBuddies(m, rep)
 	dumpWalkHistogram(rep)
+}
+
+// buildMachine assembles either the legacy single-VM colocation machine or
+// an n-VM host: the primary's guest (vm0) gets the chosen policy, pressure
+// guests run the default allocator, each with its own kernel seed.
+func buildMachine(sc sim.Scale, pol guestos.AllocPolicy, seed int64, n int) (*vm.Machine, error) {
+	if n == 1 {
+		cfg := vm.DefaultConfig()
+		cfg.HostMemBytes = sc.HostMemBytes
+		cfg.GuestMemBytes = sc.GuestMemBytes
+		cfg.Policy = pol
+		cfg.Seed = seed
+		cfg.Quantum = 2
+		return vm.New(cfg)
+	}
+	hc := vm.HostConfig{HostMemBytes: sc.HostMemBytes, Quantum: 2}
+	for i := 0; i < n; i++ {
+		gp := guestos.PolicyDefault
+		if i == 0 {
+			gp = pol
+		}
+		hc.Guests = append(hc.Guests, vm.GuestConfig{
+			MemBytes: sc.GuestMemBytes,
+			Policy:   gp,
+			Seed:     seed + int64(i)*10,
+		})
+	}
+	return vm.NewHost(hc)
 }
 
 // jsonOutput is the -json document: the per-process layout views plus the
 // machine's full counter registry in registration order.
 type jsonOutput struct {
-	Policy    string       `json:"policy"`
-	Processes []jsonProc   `json:"processes"`
+	Policy    string     `json:"policy"`
+	Processes []jsonProc `json:"processes"`
+	// Buddy is vm0's (the primary's guest); VMBuddies lists every live
+	// guest's allocator on a multi-VM run.
 	Buddy     jsonBuddy    `json:"buddy"`
+	VMBuddies []jsonBuddy  `json:"vm_buddies,omitempty"`
 	Counters  obs.Snapshot `json:"counters"`
 }
 
 type jsonProc struct {
 	Name           string  `json:"name"`
+	VM             int     `json:"vm,omitempty"`
 	RSSPages       uint64  `json:"rss_pages"`
 	FragMean       float64 `json:"frag_mean"`
 	FragGroups     int     `json:"frag_groups"`
@@ -114,10 +156,21 @@ type jsonProc struct {
 }
 
 type jsonBuddy struct {
+	VM                int      `json:"vm,omitempty"`
 	FreeFrames        uint64   `json:"free_frames"`
 	TotalFrames       uint64   `json:"total_frames"`
 	LargestFreeOrder  int      `json:"largest_free_order"`
 	FreeBlocksByOrder []uint64 `json:"free_blocks_by_order"`
+}
+
+func buddyJSON(b *buddy.Allocator) jsonBuddy {
+	counts := b.FreeBlocksByOrder()
+	return jsonBuddy{
+		FreeFrames:        b.FreeFrames(),
+		TotalFrames:       b.NumFrames(),
+		LargestFreeOrder:  b.LargestFreeOrder(),
+		FreeBlocksByOrder: counts[:],
+	}
 }
 
 func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
@@ -127,9 +180,11 @@ func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
 	}
 	for _, task := range m.Tasks() {
 		proc := task.Process()
-		frag := metrics.HostPTFragmentation(proc.PageTable(), m.HostVM().PageTable())
+		g := m.Guests()[task.GuestIndex()]
+		frag := metrics.HostPTFragmentation(proc.PageTable(), g.HostVM().PageTable())
 		out.Processes = append(out.Processes, jsonProc{
 			Name:           task.Name(),
+			VM:             g.Index(),
 			RSSPages:       proc.RSS(),
 			FragMean:       frag.Mean,
 			FragGroups:     frag.Groups,
@@ -137,13 +192,16 @@ func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
 			Histogram:      frag.Histogram[:],
 		})
 	}
-	b := m.Guest().Memory().Buddy()
-	counts := b.FreeBlocksByOrder()
-	out.Buddy = jsonBuddy{
-		FreeFrames:        b.FreeFrames(),
-		TotalFrames:       b.NumFrames(),
-		LargestFreeOrder:  b.LargestFreeOrder(),
-		FreeBlocksByOrder: counts[:],
+	out.Buddy = buddyJSON(m.Guest().Memory().Buddy())
+	if gs := m.Guests(); len(gs) > 1 {
+		for _, g := range gs {
+			if !g.Alive() {
+				continue
+			}
+			jb := buddyJSON(g.Kernel().Memory().Buddy())
+			jb.VM = g.Index()
+			out.VMBuddies = append(out.VMBuddies, jb)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -176,9 +234,14 @@ func dumpWalkHistogram(rep vm.Report) {
 
 func dumpProcess(m *vm.Machine, task *vm.Task) {
 	proc := task.Process()
-	rep := metrics.HostPTFragmentation(proc.PageTable(), m.HostVM().PageTable())
+	g := m.Guests()[task.GuestIndex()]
+	rep := metrics.HostPTFragmentation(proc.PageTable(), g.HostVM().PageTable())
+	name := task.Name()
+	if len(m.Guests()) > 1 {
+		name = fmt.Sprintf("vm%d/%s", g.Index(), name)
+	}
 	fmt.Printf("process %-12s  rss %6d pages  host-PT frag %.2f over %d groups\n",
-		task.Name(), proc.RSS(), rep.Mean, rep.Groups)
+		name, proc.RSS(), rep.Mean, rep.Groups)
 	fmt.Printf("  hPTE-blocks-per-group histogram: ")
 	for n, c := range rep.Histogram {
 		fmt.Printf("%d:%d ", n+1, c)
@@ -208,10 +271,22 @@ func dumpProcess(m *vm.Machine, task *vm.Task) {
 	fmt.Println("\n  ('.' physically adjacent to previous page, '|' discontinuity)")
 }
 
-func dumpBuddy(m *vm.Machine, s buddy.Stats) {
-	b := m.Guest().Memory().Buddy()
-	fmt.Printf("\nguest buddy allocator: %d/%d frames free, largest free order %d\n",
-		b.FreeFrames(), b.NumFrames(), b.LargestFreeOrder())
+func dumpBuddies(m *vm.Machine, rep vm.Report) {
+	if len(m.Guests()) == 1 {
+		dumpBuddy("guest", m.Guest().Memory().Buddy(), rep.Whole.GuestBuddy)
+		return
+	}
+	for _, g := range m.Guests() {
+		if !g.Alive() {
+			continue
+		}
+		dumpBuddy(fmt.Sprintf("vm%d guest", g.Index()), g.Kernel().Memory().Buddy(), g.Snapshot().GuestBuddy)
+	}
+}
+
+func dumpBuddy(label string, b *buddy.Allocator, s buddy.Stats) {
+	fmt.Printf("\n%s buddy allocator: %d/%d frames free, largest free order %d\n",
+		label, b.FreeFrames(), b.NumFrames(), b.LargestFreeOrder())
 	counts := b.FreeBlocksByOrder()
 	fmt.Printf("  free blocks by order: ")
 	for o, c := range counts {

@@ -52,7 +52,7 @@ func run(colocated bool) (ptemagnet.TaskReport, uint64, uint64) {
 	if err := m.Run(ptemagnet.RunOptions{StopCorunnersAtPrimaryInit: true}); err != nil {
 		log.Fatal(err)
 	}
-	walk := m.SteadyWalkStats()
+	walk := m.Observe().Steady.Walker
 	return m.Report()[0], walk.WalkCycles, walk.MemServed(ptemagnet.DimHost)
 }
 

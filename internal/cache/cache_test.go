@@ -130,11 +130,11 @@ func TestWorkingSetFitsInLLC(t *testing.T) {
 	// Second pass must be served entirely above memory.
 	blocks := int(cfg.LLC.SizeBytes / arch.CacheBlockSize / 2)
 	for pass := 0; pass < 2; pass++ {
-		memBefore := h.HitCounts()[LevelMemory]
+		memBefore := h.Snapshot().Hits[LevelMemory]
 		for i := 0; i < blocks; i++ {
 			h.Access(0, arch.PhysAddr(i*arch.CacheBlockSize))
 		}
-		memAfter := h.HitCounts()[LevelMemory]
+		memAfter := h.Snapshot().Hits[LevelMemory]
 		if pass == 1 && memAfter != memBefore {
 			t.Errorf("second pass over LLC-resident set took %d memory accesses", memAfter-memBefore)
 		}
@@ -149,11 +149,11 @@ func TestWorkingSetExceedsLLCThrashes(t *testing.T) {
 	for i := 0; i < blocks; i++ {
 		h.Access(0, arch.PhysAddr(i*arch.CacheBlockSize))
 	}
-	memBefore := h.HitCounts()[LevelMemory]
+	memBefore := h.Snapshot().Hits[LevelMemory]
 	for i := 0; i < blocks; i++ {
 		h.Access(0, arch.PhysAddr(i*arch.CacheBlockSize))
 	}
-	misses := h.HitCounts()[LevelMemory] - memBefore
+	misses := h.Snapshot().Hits[LevelMemory] - memBefore
 	if misses < uint64(blocks)*9/10 {
 		t.Errorf("second pass over 4x-LLC set took only %d/%d memory accesses", misses, blocks)
 	}

@@ -96,6 +96,11 @@ type Config struct {
 	// PTLevels selects the guest page-table depth: 4 (default) or 5
 	// (LA57 five-level paging, the §2.5 migration).
 	PTLevels int
+	// VMID is the host-side id of the VM this kernel runs in. It only
+	// tags frame ownership — (VM, process) attribution on a multi-tenant
+	// host — and never changes allocation behaviour. Zero is fine for a
+	// standalone kernel.
+	VMID int
 }
 
 // FaultKind classifies how a page fault was satisfied, for cost accounting.
@@ -263,6 +268,9 @@ func NewKernel(cfg Config) *Kernel {
 // Memory exposes guest-physical memory for inspection.
 func (k *Kernel) Memory() *physmem.Memory { return k.mem }
 
+// own tags a frame owner as (this kernel's VM, pid).
+func (k *Kernel) own(pid int) physmem.Owner { return physmem.Own(k.cfg.VMID, pid) }
+
 // Config returns the kernel configuration.
 func (k *Kernel) Config() Config { return k.cfg }
 
@@ -301,7 +309,7 @@ func (k *Kernel) Processes() []*Process {
 func (k *Kernel) Spawn(name string, memLimit uint64) (*Process, error) {
 	pid := k.next
 	k.next++
-	pt, err := pagetable.NewWithLevels(k.mem, pid, k.cfg.PTLevels)
+	pt, err := pagetable.NewWithLevels(k.mem, k.own(pid), k.cfg.PTLevels)
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +432,7 @@ func (p *Process) allocatePage(page arch.VirtAddr) (FaultKind, error) {
 	// §4.4 fork path: consult the parent's reservation map first.
 	if p.parent != nil && p.parent.alive && p.parent.part != nil {
 		if pa, ok := p.parent.part.ClaimFromParent(page); ok {
-			k.mem.SetKind(pa, physmem.KindUser, p.pid)
+			k.mem.SetKind(pa, physmem.KindUser, k.own(p.pid))
 			if err := p.pt.Map(page, pa, pagetable.FlagWritable); err != nil {
 				return 0, err
 			}
@@ -496,18 +504,18 @@ func (p *Process) magnetFault(page arch.VirtAddr) (FaultKind, bool, error) {
 
 	pa, res := part.HandleFault(page, func() (arch.PhysAddr, bool) {
 		k.stats.BuddyCalls++
-		base, ok := k.mem.AllocGroup(part.Config().GroupPages, physmem.KindReserved, p.pid)
+		base, ok := k.mem.AllocGroup(part.Config().GroupPages, physmem.KindReserved, k.own(p.pid))
 		if !ok {
 			// Try to relieve pressure once, then retry.
 			k.runReclaim()
-			base, ok = k.mem.AllocGroup(part.Config().GroupPages, physmem.KindReserved, p.pid)
+			base, ok = k.mem.AllocGroup(part.Config().GroupPages, physmem.KindReserved, k.own(p.pid))
 		}
 		return base, ok
 	})
 	if res == core.FaultNoMemory {
 		return 0, false, nil
 	}
-	k.mem.SetKind(pa, physmem.KindUser, p.pid)
+	k.mem.SetKind(pa, physmem.KindUser, k.own(p.pid))
 	if err := p.pt.Map(page, pa, pagetable.FlagWritable); err != nil {
 		return 0, true, err
 	}
@@ -529,7 +537,7 @@ func (p *Process) caPlacement(page arch.VirtAddr) (arch.PhysAddr, bool) {
 	k := p.kernel
 	if prev, _, ok := p.pt.Translate(page - arch.PageSize); ok {
 		want := prev.PageBase() + arch.PageSize
-		if k.mem.AllocFrameAt(want, physmem.KindUser, p.pid) {
+		if k.mem.AllocFrameAt(want, physmem.KindUser, k.own(p.pid)) {
 			return want, true
 		}
 	}
@@ -537,7 +545,7 @@ func (p *Process) caPlacement(page arch.VirtAddr) (arch.PhysAddr, bool) {
 		base := next.PageBase()
 		if base >= arch.PageSize {
 			want := base - arch.PageSize
-			if k.mem.AllocFrameAt(want, physmem.KindUser, p.pid) {
+			if k.mem.AllocFrameAt(want, physmem.KindUser, k.own(p.pid)) {
 				return want, true
 			}
 		}
@@ -560,7 +568,7 @@ func (p *Process) thpFault(page arch.VirtAddr) (FaultKind, bool, error) {
 	}
 	const hugePages = pagetable.LargePageBytes / arch.PageSize
 	k.stats.BuddyCalls++
-	pa, ok := k.mem.AllocGroup(hugePages, physmem.KindUser, p.pid)
+	pa, ok := k.mem.AllocGroup(hugePages, physmem.KindUser, k.own(p.pid))
 	if !ok {
 		return 0, false, nil
 	}
@@ -604,10 +612,10 @@ func (p *Process) groupPartiallyMapped(page arch.VirtAddr) bool {
 // pressure if the first attempt fails.
 func (k *Kernel) allocUserFrame(pid int) (arch.PhysAddr, bool) {
 	k.stats.BuddyCalls++
-	pa, ok := k.mem.AllocFrame(physmem.KindUser, pid)
+	pa, ok := k.mem.AllocFrame(physmem.KindUser, k.own(pid))
 	if !ok {
 		k.runReclaim()
-		pa, ok = k.mem.AllocFrame(physmem.KindUser, pid)
+		pa, ok = k.mem.AllocFrame(physmem.KindUser, k.own(pid))
 	}
 	if ok {
 		k.checkPressure()
@@ -719,7 +727,7 @@ func (p *Process) freePage(page arch.VirtAddr) {
 			// If the group is still alive the freed frame goes back to
 			// reserved state under kernel ownership.
 			if _, live := p.part.Lookup(page); live {
-				k.mem.SetKind(pa, physmem.KindReserved, p.pid)
+				k.mem.SetKind(pa, physmem.KindReserved, k.own(p.pid))
 			}
 			return
 		}

@@ -102,7 +102,7 @@ func TestMagnetFaultReservesGroup(t *testing.T) {
 	if got := k.Memory().CountKind(physmem.KindReserved); got != 7 {
 		t.Errorf("reserved frames = %d, want 7", got)
 	}
-	if got := k.Memory().CountOwned(physmem.KindUser, p.PID()); got != 1 {
+	if got := k.Memory().CountOwned(physmem.KindUser, physmem.Own(0, p.PID())); got != 1 {
 		t.Errorf("user frames = %d, want 1", got)
 	}
 	// Remaining group pages are reservation hits, physically contiguous.

@@ -18,13 +18,36 @@ import (
 	"ptemagnet/internal/physmem"
 )
 
-// ErrOutOfMemory reports host-physical exhaustion.
+// ErrOutOfMemory reports host-physical exhaustion. Allocation paths return
+// the richer *OOMError, which matches this sentinel under errors.Is.
 var ErrOutOfMemory = errors.New("hostos: out of host-physical memory")
+
+// OOMError reports which VM exhausted host-physical memory and how many
+// pages its allocation needed. It matches ErrOutOfMemory under errors.Is,
+// so existing sentinel checks keep working.
+type OOMError struct {
+	// VM is the id of the VM whose fault could not be served.
+	VM int
+	// NeedPages is the size of the failed allocation in pages.
+	NeedPages uint64
+}
+
+// Error describes the exhaustion.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s))", e.VM, e.NeedPages)
+}
+
+// Is reports sentinel equivalence with ErrOutOfMemory.
+func (e *OOMError) Is(target error) bool { return target == ErrOutOfMemory }
 
 // Kernel is the host kernel, owner of host-physical memory.
 type Kernel struct {
 	mem *physmem.Memory
 	vms []*VM
+	// nextID is monotonic across VM teardown, so ids never repeat within
+	// one host's lifetime (frame attribution of a destroyed VM can never
+	// be confused with a later tenant's).
+	nextID int
 }
 
 // NewKernel boots a host kernel managing memBytes of host-physical memory.
@@ -35,6 +58,9 @@ func NewKernel(memBytes uint64) *Kernel {
 // Memory exposes host-physical memory for inspection.
 func (k *Kernel) Memory() *physmem.Memory { return k.mem }
 
+// VMs returns the live VMs in creation order.
+func (k *Kernel) VMs() []*VM { return k.vms }
+
 // VM is one virtual machine: a host process whose virtual address space is
 // the guest-physical address space.
 type VM struct {
@@ -44,6 +70,7 @@ type VM struct {
 	pt            *pagetable.Table
 	guestMemBytes uint64
 	faults        uint64
+	alive         bool
 }
 
 // CreateVM registers a VM with the given guest-physical memory size. The
@@ -59,18 +86,46 @@ func (k *Kernel) CreateVMWithLevels(guestMemBytes uint64, levels int) (*VM, erro
 	if guestMemBytes == 0 || guestMemBytes%arch.PageSize != 0 {
 		return nil, fmt.Errorf("hostos: bad guest memory size %d", guestMemBytes)
 	}
-	id := len(k.vms) + 1
-	pt, err := pagetable.NewWithLevels(k.mem, id, levels)
+	id := k.nextID + 1
+	pt, err := pagetable.NewWithLevels(k.mem, physmem.VMOwner(id), levels)
 	if err != nil {
 		return nil, err
 	}
-	vm := &VM{kernel: k, id: id, pt: pt, guestMemBytes: guestMemBytes}
+	k.nextID = id
+	vm := &VM{kernel: k, id: id, pt: pt, guestMemBytes: guestMemBytes, alive: true}
 	k.vms = append(k.vms, vm)
 	return vm, nil
 }
 
+// DestroyVM tears the VM down: every mapped host frame and every host
+// page-table node goes back to the host buddy allocator, and the VM leaves
+// the kernel's VM list. Destroying an already-destroyed VM is a no-op.
+// Frame returns happen in ascending guest-physical order followed by the
+// page-table nodes in ascending frame order, so teardown is deterministic
+// and buddy coalescing sees the same sequence on every run.
+func (k *Kernel) DestroyVM(vm *VM) {
+	if !vm.alive || vm.kernel != k {
+		return
+	}
+	vm.alive = false
+	vm.pt.ForEachMapped(func(_ arch.VirtAddr, hpa arch.PhysAddr, _ pagetable.Flags) bool {
+		k.mem.FreeBlock(hpa)
+		return true
+	})
+	vm.pt.Destroy()
+	for i, v := range k.vms {
+		if v == vm {
+			k.vms = append(k.vms[:i], k.vms[i+1:]...)
+			break
+		}
+	}
+}
+
 // ID returns the VM's host process id.
 func (vm *VM) ID() int { return vm.id }
+
+// Alive reports whether the VM has not been destroyed.
+func (vm *VM) Alive() bool { return vm.alive }
 
 // PageTable exposes the host page table of this VM.
 func (vm *VM) PageTable() *pagetable.Table { return vm.pt }
@@ -99,9 +154,9 @@ func (vm *VM) HandleFault(gpa arch.PhysAddr) error {
 	if _, _, ok := vm.pt.Translate(page); ok {
 		return nil
 	}
-	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, vm.id)
+	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
 	if !ok {
-		return ErrOutOfMemory
+		return &OOMError{VM: vm.id, NeedPages: 1}
 	}
 	vm.faults++
 	return vm.pt.Map(page, hpa, pagetable.FlagWritable)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/physmem"
 )
 
 func TestCreateVMValidation(t *testing.T) {
@@ -133,4 +134,111 @@ func TestVMAccessors(t *testing.T) {
 	if k.Memory() == nil {
 		t.Error("Memory nil")
 	}
+}
+
+func TestMultiVMIDAssignment(t *testing.T) {
+	k := NewKernel(64 << 20)
+	a, _ := k.CreateVM(8 << 20)
+	b, _ := k.CreateVM(8 << 20)
+	c, _ := k.CreateVM(8 << 20)
+	if a.ID() != 1 || b.ID() != 2 || c.ID() != 3 {
+		t.Errorf("ids = %d,%d,%d, want 1,2,3", a.ID(), b.ID(), c.ID())
+	}
+	if got := len(k.VMs()); got != 3 {
+		t.Errorf("VMs() has %d entries, want 3", got)
+	}
+	// Ids are monotonic: destroying b must not let a later VM reuse 2.
+	k.DestroyVM(b)
+	d, _ := k.CreateVM(8 << 20)
+	if d.ID() != 4 {
+		t.Errorf("id after teardown = %d, want 4 (no reuse)", d.ID())
+	}
+	if got := len(k.VMs()); got != 3 {
+		t.Errorf("VMs() has %d entries after teardown+boot, want 3", got)
+	}
+}
+
+func TestPerVMFaultCounters(t *testing.T) {
+	k := NewKernel(64 << 20)
+	a, _ := k.CreateVM(8 << 20)
+	b, _ := k.CreateVM(8 << 20)
+	for i := 0; i < 5; i++ {
+		if err := a.HandleFault(arch.PhysAddr(i * arch.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.HandleFault(arch.PhysAddr(i * arch.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Faults() != 5 || b.Faults() != 3 {
+		t.Errorf("faults = %d,%d, want 5,3", a.Faults(), b.Faults())
+	}
+	// Frame ownership is attributed per VM.
+	mem := k.Memory()
+	if got := mem.CountOwnedVM(physmem.KindUser, a.ID()); got != 5 {
+		t.Errorf("vm %d owns %d user frames, want 5", a.ID(), got)
+	}
+	if got := mem.CountOwnedVM(physmem.KindUser, b.ID()); got != 3 {
+		t.Errorf("vm %d owns %d user frames, want 3", b.ID(), got)
+	}
+}
+
+func TestTwoVMHostExhaustion(t *testing.T) {
+	// Two VMs competing for a tiny host: the second faulting VM must hit a
+	// typed OOM naming itself, while errors.Is compatibility holds.
+	k := NewKernel(24 * arch.PageSize)
+	a, _ := k.CreateVM(1 << 20)
+	b, _ := k.CreateVM(1 << 20)
+	var err error
+	for i := 0; err == nil && i < 64; i++ {
+		err = a.HandleFault(arch.PhysAddr(i * arch.PageSize))
+		if err == nil {
+			err = b.HandleFault(arch.PhysAddr(i * arch.PageSize))
+		}
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory compatibility", err)
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want *OOMError", err)
+	}
+	if oom.VM != a.ID() && oom.VM != b.ID() {
+		t.Errorf("OOMError.VM = %d, want one of %d/%d", oom.VM, a.ID(), b.ID())
+	}
+	if oom.NeedPages != 1 {
+		t.Errorf("OOMError.NeedPages = %d, want 1", oom.NeedPages)
+	}
+}
+
+func TestDestroyVMReturnsFrames(t *testing.T) {
+	k := NewKernel(64 << 20)
+	free0 := k.Memory().FreeFrames()
+	vm, _ := k.CreateVM(8 << 20)
+	for i := 0; i < 32; i++ {
+		if err := vm.HandleFault(arch.PhysAddr(i * arch.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Memory().FreeFrames() >= free0 {
+		t.Fatal("faulting allocated nothing")
+	}
+	k.DestroyVM(vm)
+	if vm.Alive() {
+		t.Error("VM alive after DestroyVM")
+	}
+	if got := k.Memory().FreeFrames(); got != free0 {
+		t.Errorf("free frames after teardown = %d, want %d (all frames returned)", got, free0)
+	}
+	if got := k.Memory().CountOwnedVM(physmem.KindUser, vm.ID()); got != 0 {
+		t.Errorf("vm still owns %d user frames after teardown", got)
+	}
+	// Coalescing: a max-order block must be allocatable again.
+	if _, ok := k.Memory().AllocOrder(3, physmem.KindUser, physmem.VMOwner(99)); !ok {
+		t.Error("order-3 allocation failed after teardown (no coalescing)")
+	}
+	// Double-destroy is a no-op.
+	k.DestroyVM(vm)
 }

@@ -88,6 +88,22 @@ func HostPTFragmentation(gpt, hpt *pagetable.Table) FragReport {
 	return rep
 }
 
+// Combine merges two fragmentation reports into one covering both
+// underlying page-table populations — per-VM reports rolled up into a
+// host-wide view. Means are weighted by group count, so Combine over every
+// process of every VM equals the metric computed over the union.
+func Combine(a, b FragReport) FragReport {
+	out := FragReport{Groups: a.Groups + b.Groups}
+	for i := range out.Histogram {
+		out.Histogram[i] = a.Histogram[i] + b.Histogram[i]
+	}
+	if out.Groups > 0 {
+		out.Mean = (a.Mean*float64(a.Groups) + b.Mean*float64(b.Groups)) / float64(out.Groups)
+		out.FullyScattered = float64(out.Histogram[arch.PTEsPerBlock-1]) / float64(out.Groups)
+	}
+	return out
+}
+
 // GaugeSample is one periodic observation of a gauge (§6.2 sampling).
 type GaugeSample struct {
 	// Accesses is the simulation progress stamp (total accesses executed).

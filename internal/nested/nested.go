@@ -459,3 +459,14 @@ func (w *Walker) InvalidateASID(asid uint32) {
 	w.tlb.InvalidateASID(asid)
 	w.gpwc.InvalidateASID(asid)
 }
+
+// InvalidateAll drops every cached translation and walk-cache entry: main
+// TLB, nested TLB, and both paging-structure caches. VM teardown uses it —
+// once the host page table is gone, any cached gPA→hPA mapping is stale.
+// Counters are untouched; the dead VM's totals stay reportable.
+func (w *Walker) InvalidateAll() {
+	w.tlb.Flush()
+	w.ntlb.Flush()
+	w.gpwc.Flush()
+	w.hpwc.Flush()
+}

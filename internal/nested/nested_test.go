@@ -28,7 +28,7 @@ func newRig(t testing.TB, cfg Config) *rig {
 		t.Fatal(err)
 	}
 	guestMem := physmem.New(64 << 20)
-	gpt, err := pagetable.New(guestMem, 1)
+	gpt, err := pagetable.New(guestMem, physmem.Own(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestASIDIsolationInWalker(t *testing.T) {
 	r.w.Translate(0, 1, r.gpt, va, false)
 	// A different ASID with a different (empty) table must not hit the
 	// first process's TLB entry.
-	gpt2, err := pagetable.New(r.guestMem, 2)
+	gpt2, err := pagetable.New(r.guestMem, physmem.Own(0, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestContiguityReducesHostPTEFootprint(t *testing.T) {
 		host := hostos.NewKernel(256 << 20)
 		vm, _ := host.CreateVM(64 << 20)
 		guestMem := physmem.New(64 << 20)
-		gpt, _ := pagetable.New(guestMem, 1)
+		gpt, _ := pagetable.New(guestMem, physmem.Own(0, 1))
 		hier := cache.NewHierarchy(cache.DefaultConfig(1))
 		w := New(tinyTLBConfig(), hier, vm)
 		base := arch.VirtAddr(0x7f0000000000)
@@ -307,7 +307,7 @@ func BenchmarkTranslateTLBHit(b *testing.B) {
 	host := hostos.NewKernel(256 << 20)
 	vm, _ := host.CreateVM(64 << 20)
 	guestMem := physmem.New(64 << 20)
-	gpt, _ := pagetable.New(guestMem, 1)
+	gpt, _ := pagetable.New(guestMem, physmem.Own(0, 1))
 	hier := cache.NewHierarchy(cache.DefaultConfig(1))
 	w := New(DefaultConfig(), hier, vm)
 	gpt.Map(0x1000, 0x100000, pagetable.FlagWritable)
@@ -322,7 +322,7 @@ func BenchmarkTranslateWalk(b *testing.B) {
 	host := hostos.NewKernel(512 << 20)
 	vm, _ := host.CreateVM(256 << 20)
 	guestMem := physmem.New(256 << 20)
-	gpt, _ := pagetable.New(guestMem, 1)
+	gpt, _ := pagetable.New(guestMem, physmem.Own(0, 1))
 	hier := cache.NewHierarchy(cache.DefaultConfig(1))
 	cfg := DefaultConfig()
 	cfg.TLB = tlb.TwoLevelConfig{L1: tlb.Config{Entries: 2, Ways: 2}, L2: tlb.Config{Entries: 2, Ways: 2}}

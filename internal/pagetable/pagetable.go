@@ -82,7 +82,7 @@ type Access struct {
 // Table is one process's (or one VM's) page table.
 type Table struct {
 	mem    *physmem.Memory
-	owner  int
+	owner  physmem.Owner
 	levels int
 	root   arch.PhysAddr
 	nodes  map[arch.PhysAddr]*node
@@ -95,7 +95,7 @@ type Table struct {
 
 // New allocates a four-level page table with an empty root node in mem,
 // with its node frames tagged as page-table memory owned by owner.
-func New(mem *physmem.Memory, owner int) (*Table, error) {
+func New(mem *physmem.Memory, owner physmem.Owner) (*Table, error) {
 	return NewWithLevels(mem, owner, arch.PTLevels)
 }
 
@@ -103,7 +103,7 @@ func New(mem *physmem.Memory, owner int) (*Table, error) {
 // (x86-64 four-level paging, 48-bit VAs) or 5 (LA57 five-level paging,
 // 57-bit VAs — the migration the paper's §2.5 anticipates, which lengthens
 // every dimension of a nested walk).
-func NewWithLevels(mem *physmem.Memory, owner, levels int) (*Table, error) {
+func NewWithLevels(mem *physmem.Memory, owner physmem.Owner, levels int) (*Table, error) {
 	if levels != 4 && levels != 5 {
 		return nil, fmt.Errorf("pagetable: unsupported depth %d (want 4 or 5)", levels)
 	}
@@ -131,7 +131,7 @@ func (t *Table) MappedPages() uint64 { return t.mapped }
 func (t *Table) allocNode() (arch.PhysAddr, error) {
 	pa, ok := t.mem.AllocFrame(physmem.KindPageTable, t.owner)
 	if !ok {
-		return arch.NoPhysAddr, fmt.Errorf("pagetable: out of physical memory for node (owner %d)", t.owner)
+		return arch.NoPhysAddr, fmt.Errorf("pagetable: out of physical memory for node (owner %v)", t.owner)
 	}
 	t.nodes[pa] = &node{}
 	return pa, nil

@@ -11,7 +11,7 @@ import (
 func newTable(t *testing.T) (*Table, *physmem.Memory) {
 	t.Helper()
 	mem := physmem.New(16 << 20) // 16MB
-	tbl, err := New(mem, 1)
+	tbl, err := New(mem, physmem.Own(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestForEachMappedEarlyStop(t *testing.T) {
 
 func TestDestroyReleasesNodes(t *testing.T) {
 	mem := physmem.New(16 << 20)
-	tbl, err := New(mem, 1)
+	tbl, err := New(mem, physmem.Own(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,13 +279,13 @@ func TestDestroyReleasesNodes(t *testing.T) {
 
 func TestMapFailsWhenMemoryExhausted(t *testing.T) {
 	mem := physmem.New(8 * arch.PageSize)
-	tbl, err := New(mem, 1)
+	tbl, err := New(mem, physmem.Own(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Consume everything.
 	for {
-		if _, ok := mem.AllocFrame(physmem.KindUser, 1); !ok {
+		if _, ok := mem.AllocFrame(physmem.KindUser, physmem.Own(0, 1)); !ok {
 			break
 		}
 	}
@@ -298,7 +298,7 @@ func TestMapFailsWhenMemoryExhausted(t *testing.T) {
 // page-aligned PAs.
 func TestQuickMapTranslate(t *testing.T) {
 	mem := physmem.New(64 << 20)
-	tbl, err := New(mem, 1)
+	tbl, err := New(mem, physmem.Own(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestQuickMapTranslate(t *testing.T) {
 
 func BenchmarkMap(b *testing.B) {
 	mem := physmem.New(256 << 20)
-	tbl, _ := New(mem, 1)
+	tbl, _ := New(mem, physmem.Own(0, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		va := arch.VirtAddr(uint64(i%1_000_000) << arch.PageShift)
@@ -339,7 +339,7 @@ func BenchmarkMap(b *testing.B) {
 
 func BenchmarkWalkFull(b *testing.B) {
 	mem := physmem.New(64 << 20)
-	tbl, _ := New(mem, 1)
+	tbl, _ := New(mem, physmem.Own(0, 1))
 	for i := 0; i < 1024; i++ {
 		tbl.Map(arch.VirtAddr(i)<<arch.PageShift, 0x100000, 0)
 	}
@@ -351,7 +351,7 @@ func BenchmarkWalkFull(b *testing.B) {
 
 func TestFiveLevelTable(t *testing.T) {
 	mem := physmem.New(16 << 20)
-	tbl, err := NewWithLevels(mem, 1, 5)
+	tbl, err := NewWithLevels(mem, physmem.Own(0, 1), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestFiveLevelTable(t *testing.T) {
 func TestNewWithLevelsValidation(t *testing.T) {
 	mem := physmem.New(1 << 20)
 	for _, bad := range []int{0, 1, 3, 6} {
-		if _, err := NewWithLevels(mem, 1, bad); err == nil {
+		if _, err := NewWithLevels(mem, physmem.Own(0, 1), bad); err == nil {
 			t.Errorf("depth %d accepted", bad)
 		}
 	}
@@ -419,7 +419,7 @@ func TestWalkUnknownNodePanics(t *testing.T) {
 
 func TestSetFlagsOnLargeRegionFails(t *testing.T) {
 	mem := physmem.New(64 << 20)
-	tbl, _ := New(mem, 1)
+	tbl, _ := New(mem, physmem.Own(0, 1))
 	tbl.MapLarge(0x200000, 0x800000, FlagWritable)
 	// SetFlags targets 4KB leaves; a large region has none.
 	if tbl.SetFlags(0x200000, FlagCOW) {

@@ -56,15 +56,33 @@ func (k FrameKind) String() string {
 	}
 }
 
-// NoOwner is the owner recorded for kernel-owned frames.
-const NoOwner = -1
+// Owner attributes a frame to a (VM, process) pair. On host-physical
+// memory the VM field is the owning virtual machine's id and Proc is
+// unused (-1); on guest-physical memory VM is the enclosing VM's id and
+// Proc the guest process id. The two-dimensional attribution is what lets
+// a multi-tenant host report per-VM frame counts and host-PT
+// fragmentation both per VM and host-wide.
+type Owner struct {
+	VM   int32
+	Proc int32
+}
+
+// Own returns the owner tag for process proc inside VM vm.
+func Own(vm, proc int) Owner { return Owner{VM: int32(vm), Proc: int32(proc)} }
+
+// VMOwner returns the owner tag for frames the host allocates on behalf of
+// VM vm as a whole (no specific guest process).
+func VMOwner(vm int) Owner { return Owner{VM: int32(vm), Proc: -1} }
+
+// NoOwner is the owner recorded for kernel-owned and free frames.
+var NoOwner = Owner{VM: -1, Proc: -1}
 
 // Memory is the physical memory of one machine, managed by a buddy
 // allocator with per-frame kind/owner bookkeeping.
 type Memory struct {
 	alloc *buddy.Allocator
 	kind  []FrameKind
-	owner []int32
+	owner []Owner
 }
 
 // New creates a memory of the given size in bytes, which must be a positive
@@ -77,7 +95,7 @@ func New(bytes uint64) *Memory {
 	m := &Memory{
 		alloc: buddy.New(nframes),
 		kind:  make([]FrameKind, nframes),
-		owner: make([]int32, nframes),
+		owner: make([]Owner, nframes),
 	}
 	for i := range m.owner {
 		m.owner[i] = NoOwner
@@ -106,7 +124,7 @@ func (m *Memory) Buddy() *buddy.Allocator { return m.alloc }
 
 // AllocFrame allocates one frame of the given kind for the given owner and
 // returns its physical address. ok is false when memory is exhausted.
-func (m *Memory) AllocFrame(kind FrameKind, owner int) (arch.PhysAddr, bool) {
+func (m *Memory) AllocFrame(kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
 	frame, ok := m.alloc.AllocPage()
 	if !ok {
 		return arch.NoPhysAddr, false
@@ -118,7 +136,7 @@ func (m *Memory) AllocFrame(kind FrameKind, owner int) (arch.PhysAddr, bool) {
 // AllocOrder allocates a 2^order-frame contiguous, naturally aligned block
 // of the given kind and owner, returning the address of its first frame.
 // PTEMagnet's reservation path uses order 3 (eight pages).
-func (m *Memory) AllocOrder(order int, kind FrameKind, owner int) (arch.PhysAddr, bool) {
+func (m *Memory) AllocOrder(order int, kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
 	frame, ok := m.alloc.AllocOrder(order)
 	if !ok {
 		return arch.NoPhysAddr, false
@@ -131,7 +149,7 @@ func (m *Memory) AllocOrder(order int, kind FrameKind, owner int) (arch.PhysAddr
 // tagging it with kind and owner. It reports whether the frame was
 // available. Best-effort contiguity allocators use it to extend a previous
 // allocation physically.
-func (m *Memory) AllocFrameAt(pa arch.PhysAddr, kind FrameKind, owner int) bool {
+func (m *Memory) AllocFrameAt(pa arch.PhysAddr, kind FrameKind, owner Owner) bool {
 	frame := pa.FrameNumber()
 	if frame >= m.alloc.NumFrames() {
 		return false
@@ -147,7 +165,7 @@ func (m *Memory) AllocFrameAt(pa arch.PhysAddr, kind FrameKind, owner int) bool 
 // frames (a power of two) and immediately splits it so each frame can be
 // freed individually — the allocation pattern of a PTEMagnet reservation.
 // It returns the address of the first frame.
-func (m *Memory) AllocGroup(pages int, kind FrameKind, owner int) (arch.PhysAddr, bool) {
+func (m *Memory) AllocGroup(pages int, kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
 	if pages <= 0 || !arch.IsPowerOfTwo(uint64(pages)) {
 		panic(fmt.Sprintf("physmem: group of %d pages is not a power of two", pages))
 	}
@@ -180,18 +198,18 @@ func (m *Memory) Kind(pa arch.PhysAddr) FrameKind {
 	return m.kind[m.checkFrame(pa)]
 }
 
-// Owner returns the owning process of the frame containing pa, or NoOwner.
-func (m *Memory) Owner(pa arch.PhysAddr) int {
-	return int(m.owner[m.checkFrame(pa)])
+// Owner returns the owner of the frame containing pa, or NoOwner.
+func (m *Memory) Owner(pa arch.PhysAddr) Owner {
+	return m.owner[m.checkFrame(pa)]
 }
 
 // SetKind retags the single frame containing pa. The kernels use it when a
 // reserved frame is finally mapped to the application (reserved → user) and
 // when reservations are torn down.
-func (m *Memory) SetKind(pa arch.PhysAddr, kind FrameKind, owner int) {
+func (m *Memory) SetKind(pa arch.PhysAddr, kind FrameKind, owner Owner) {
 	f := m.checkFrame(pa)
 	m.kind[f] = kind
-	m.owner[f] = int32(owner)
+	m.owner[f] = owner
 }
 
 // CountKind returns how many frames currently carry the given kind.
@@ -206,20 +224,33 @@ func (m *Memory) CountKind(kind FrameKind) uint64 {
 }
 
 // CountOwned returns how many frames of the given kind belong to owner.
-func (m *Memory) CountOwned(kind FrameKind, owner int) uint64 {
+func (m *Memory) CountOwned(kind FrameKind, owner Owner) uint64 {
 	var n uint64
 	for i, k := range m.kind {
-		if k == kind && m.owner[i] == int32(owner) {
+		if k == kind && m.owner[i] == owner {
 			n++
 		}
 	}
 	return n
 }
 
-func (m *Memory) tag(frame, count uint64, kind FrameKind, owner int) {
+// CountOwnedVM returns how many frames of the given kind belong to any
+// owner inside VM vm — the per-VM host-frame attribution the multi-tenant
+// report uses.
+func (m *Memory) CountOwnedVM(kind FrameKind, vm int) uint64 {
+	var n uint64
+	for i, k := range m.kind {
+		if k == kind && m.owner[i].VM == int32(vm) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Memory) tag(frame, count uint64, kind FrameKind, owner Owner) {
 	for i := uint64(0); i < count; i++ {
 		m.kind[frame+i] = kind
-		m.owner[frame+i] = int32(owner)
+		m.owner[frame+i] = owner
 	}
 }
 

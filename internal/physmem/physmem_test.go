@@ -34,14 +34,14 @@ func TestSizeAccounting(t *testing.T) {
 
 func TestAllocTagging(t *testing.T) {
 	m := New(1 << 20)
-	pa, ok := m.AllocFrame(KindUser, 7)
+	pa, ok := m.AllocFrame(KindUser, Own(0, 7))
 	if !ok {
 		t.Fatal("alloc failed")
 	}
 	if m.Kind(pa) != KindUser {
 		t.Errorf("Kind = %v, want user", m.Kind(pa))
 	}
-	if m.Owner(pa) != 7 {
+	if m.Owner(pa) != Own(0, 7) {
 		t.Errorf("Owner = %d, want 7", m.Owner(pa))
 	}
 	if m.UsedFrames() != 1 {
@@ -58,7 +58,7 @@ func TestAllocTagging(t *testing.T) {
 
 func TestAllocOrderTagsWholeBlock(t *testing.T) {
 	m := New(1 << 20)
-	pa, ok := m.AllocOrder(3, KindReserved, 3)
+	pa, ok := m.AllocOrder(3, KindReserved, Own(0, 3))
 	if !ok {
 		t.Fatal("alloc failed")
 	}
@@ -67,7 +67,7 @@ func TestAllocOrderTagsWholeBlock(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		p := pa + arch.PhysAddr(i*arch.PageSize)
-		if m.Kind(p) != KindReserved || m.Owner(p) != 3 {
+		if m.Kind(p) != KindReserved || m.Owner(p) != Own(0, 3) {
 			t.Errorf("frame %d of block: kind=%v owner=%d", i, m.Kind(p), m.Owner(p))
 		}
 	}
@@ -82,9 +82,9 @@ func TestAllocOrderTagsWholeBlock(t *testing.T) {
 
 func TestSetKindRetagsOneFrame(t *testing.T) {
 	m := New(1 << 20)
-	pa, _ := m.AllocOrder(3, KindReserved, 3)
+	pa, _ := m.AllocOrder(3, KindReserved, Own(0, 3))
 	second := pa + arch.PageSize
-	m.SetKind(second, KindUser, 3)
+	m.SetKind(second, KindUser, Own(0, 3))
 	if m.Kind(pa) != KindReserved {
 		t.Error("first frame retagged unexpectedly")
 	}
@@ -97,11 +97,11 @@ func TestCounting(t *testing.T) {
 	m := New(1 << 20)
 	var user, pt []arch.PhysAddr
 	for i := 0; i < 5; i++ {
-		pa, _ := m.AllocFrame(KindUser, 1)
+		pa, _ := m.AllocFrame(KindUser, Own(0, 1))
 		user = append(user, pa)
 	}
 	for i := 0; i < 3; i++ {
-		pa, _ := m.AllocFrame(KindPageTable, 2)
+		pa, _ := m.AllocFrame(KindPageTable, Own(0, 2))
 		pt = append(pt, pa)
 	}
 	if got := m.CountKind(KindUser); got != 5 {
@@ -110,10 +110,10 @@ func TestCounting(t *testing.T) {
 	if got := m.CountKind(KindPageTable); got != 3 {
 		t.Errorf("CountKind(pagetable) = %d", got)
 	}
-	if got := m.CountOwned(KindUser, 1); got != 5 {
+	if got := m.CountOwned(KindUser, Own(0, 1)); got != 5 {
 		t.Errorf("CountOwned(user,1) = %d", got)
 	}
-	if got := m.CountOwned(KindUser, 2); got != 0 {
+	if got := m.CountOwned(KindUser, Own(0, 2)); got != 0 {
 		t.Errorf("CountOwned(user,2) = %d", got)
 	}
 	_ = user
@@ -141,7 +141,7 @@ func TestExhaustion(t *testing.T) {
 	m := New(16 * arch.PageSize)
 	n := 0
 	for {
-		if _, ok := m.AllocFrame(KindUser, 1); !ok {
+		if _, ok := m.AllocFrame(KindUser, Own(0, 1)); !ok {
 			break
 		}
 		n++
@@ -149,7 +149,7 @@ func TestExhaustion(t *testing.T) {
 	if n != 15 {
 		t.Errorf("allocated %d frames from 16-frame memory, want 15", n)
 	}
-	if _, ok := m.AllocOrder(3, KindUser, 1); ok {
+	if _, ok := m.AllocOrder(3, KindUser, Own(0, 1)); ok {
 		t.Error("order-3 alloc succeeded on exhausted memory")
 	}
 }
@@ -171,7 +171,7 @@ func TestKindString(t *testing.T) {
 
 func TestAllocGroup(t *testing.T) {
 	m := New(1 << 20)
-	pa, ok := m.AllocGroup(8, KindReserved, 4)
+	pa, ok := m.AllocGroup(8, KindReserved, Own(0, 4))
 	if !ok {
 		t.Fatal("AllocGroup failed")
 	}
@@ -204,7 +204,7 @@ func TestAllocGroupValidation(t *testing.T) {
 					t.Errorf("AllocGroup(%d) did not panic", bad)
 				}
 			}()
-			m.AllocGroup(bad, KindReserved, 1)
+			m.AllocGroup(bad, KindReserved, Own(0, 1))
 		}()
 	}
 }
@@ -212,16 +212,16 @@ func TestAllocGroupValidation(t *testing.T) {
 func TestAllocFrameAt(t *testing.T) {
 	m := New(1 << 20)
 	target := arch.PhysAddr(100 * arch.PageSize)
-	if !m.AllocFrameAt(target, KindUser, 5) {
+	if !m.AllocFrameAt(target, KindUser, Own(0, 5)) {
 		t.Fatal("AllocFrameAt failed on free frame")
 	}
-	if m.Kind(target) != KindUser || m.Owner(target) != 5 {
+	if m.Kind(target) != KindUser || m.Owner(target) != Own(0, 5) {
 		t.Errorf("kind=%v owner=%d", m.Kind(target), m.Owner(target))
 	}
-	if m.AllocFrameAt(target, KindUser, 6) {
+	if m.AllocFrameAt(target, KindUser, Own(0, 6)) {
 		t.Error("AllocFrameAt succeeded on taken frame")
 	}
-	if m.AllocFrameAt(arch.PhysAddr(2<<20), KindUser, 5) {
+	if m.AllocFrameAt(arch.PhysAddr(2<<20), KindUser, Own(0, 5)) {
 		t.Error("AllocFrameAt succeeded beyond memory")
 	}
 	m.FreeBlock(target)

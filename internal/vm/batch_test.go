@@ -75,7 +75,7 @@ func TestBatchedRunMatchesAdapterRun(t *testing.T) {
 		if err := m.Run(RunOptions{SampleEvery: 64}); err != nil {
 			t.Fatal(err)
 		}
-		return m.Report(), m.SteadyWalkStats(), m.Guest().Snapshot(), tr
+		return m.Report(), m.Observe().Steady.Walker, m.Guest().Snapshot(), tr
 	}
 	repB, walkB, guestB, trB := run(false)
 	repA, walkA, guestA, trA := run(true)

@@ -1,20 +1,27 @@
 // Observability for the assembled machine (DESIGN.md §8): one aggregated
-// Stats snapshot across every stat-bearing component, the Report returned
-// to the facade, and the named counter registry behind run telemetry.
+// Stats snapshot across every stat-bearing component, per-guest stats for
+// the multi-tenant host, the Report returned to the facade, and the named
+// counter registry behind run telemetry.
 package vm
 
 import (
+	"fmt"
+
 	"ptemagnet/internal/buddy"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/guestos"
+	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/nested"
 	"ptemagnet/internal/obs"
+	"ptemagnet/internal/physmem"
 	"ptemagnet/internal/tlb"
 )
 
 // Stats aggregates every counter the machine owns: its own access total
 // plus the per-component stats, each following the Snapshot/Delta
-// contract.
+// contract. On a multi-tenant host the per-guest components (walker, TLB,
+// guest kernel, guest buddy) are summed across guests; the shared
+// components (data caches, host buddy) are read directly.
 type Stats struct {
 	// Accesses is the machine-wide executed access count.
 	Accesses uint64
@@ -44,17 +51,70 @@ func (s Stats) Delta(prev Stats) Stats {
 	}
 }
 
-// Snapshot reads every component's counters at once.
-func (m *Machine) Snapshot() Stats {
-	return Stats{
-		Accesses:   m.totalAccesses,
-		Walker:     m.walker.Snapshot(),
-		Cache:      m.hier.Snapshot(),
-		TLB:        m.walker.TLB().Snapshot(),
-		Guest:      m.guest.Snapshot(),
-		GuestBuddy: m.guest.Memory().Buddy().Snapshot(),
-		HostBuddy:  m.host.Memory().Buddy().Snapshot(),
+// GuestStats is one guest's slice of the machine counters: its private
+// translation machinery and kernel, without the shared host components.
+type GuestStats struct {
+	// Accesses is the guest's executed access count.
+	Accesses uint64
+	// Walker holds the guest's nested page-walker counters.
+	Walker nested.Stats
+	// TLB holds the guest's main two-level TLB counters.
+	TLB tlb.TwoLevelStats
+	// Guest holds the guest kernel counters.
+	Guest guestos.Stats
+	// GuestBuddy holds the guest-physical buddy allocator counters.
+	GuestBuddy buddy.Stats
+}
+
+// Delta returns the component-wise difference s - prev.
+func (s GuestStats) Delta(prev GuestStats) GuestStats {
+	return GuestStats{
+		Accesses:   s.Accesses - prev.Accesses,
+		Walker:     s.Walker.Delta(prev.Walker),
+		TLB:        s.TLB.Delta(prev.TLB),
+		Guest:      s.Guest.Delta(prev.Guest),
+		GuestBuddy: s.GuestBuddy.Delta(prev.GuestBuddy),
 	}
+}
+
+// Snapshot reads the guest's counters at once. Destroyed guests return
+// their frozen final values.
+func (g *Guest) Snapshot() GuestStats {
+	return GuestStats{
+		Accesses:   g.accesses,
+		Walker:     g.walker.Snapshot(),
+		TLB:        g.walker.TLB().Snapshot(),
+		Guest:      g.kernel.Snapshot(),
+		GuestBuddy: g.kernel.Memory().Buddy().Snapshot(),
+	}
+}
+
+// sumCounters adds two counter snapshots of the same all-uint64 stats
+// type using only the Snapshot/Delta contract: zero.Delta(b) negates b
+// under two's-complement wraparound, so a.Delta(-b) is a+b, exact for
+// every unsigned counter field.
+func sumCounters[T interface{ Delta(T) T }](a, b T) T {
+	var zero T
+	return a.Delta(zero.Delta(b))
+}
+
+// Snapshot reads every component's counters at once, summing the
+// per-guest components across all guests (including destroyed ones, whose
+// counters are frozen — machine totals never go backwards).
+func (m *Machine) Snapshot() Stats {
+	s := Stats{
+		Accesses:  m.totalAccesses,
+		Cache:     m.hier.Snapshot(),
+		HostBuddy: m.host.Memory().Buddy().Snapshot(),
+	}
+	for _, g := range m.guests {
+		gs := g.Snapshot()
+		s.Walker = sumCounters(s.Walker, gs.Walker)
+		s.TLB = sumCounters(s.TLB, gs.TLB)
+		s.Guest = sumCounters(s.Guest, gs.Guest)
+		s.GuestBuddy = sumCounters(s.GuestBuddy, gs.GuestBuddy)
+	}
+	return s
 }
 
 // steadyStats returns the counters accumulated after the primary-init
@@ -67,6 +127,26 @@ func (m *Machine) steadyStats() Stats {
 	return whole.Delta(m.statsAtInit)
 }
 
+// GuestReport is the post-run observation of one guest on the host.
+type GuestReport struct {
+	// Index is the guest's creation-order slot; VMID the host-assigned VM
+	// id (monotonic, never reused).
+	Index int
+	VMID  int
+	// Alive is false for guests destroyed mid-run.
+	Alive bool
+	// Stats is the guest's counter snapshot.
+	Stats GuestStats
+	// MappedGuestPages counts guest-physical pages with host backing;
+	// HostUserFrames counts host frames attributed to this VM. Both are 0
+	// for destroyed guests (their frames went back to the host buddy).
+	MappedGuestPages uint64
+	HostUserFrames   uint64
+	// Frag aggregates host-PT fragmentation over every process of this
+	// guest (zero-valued for destroyed guests).
+	Frag metrics.FragReport
+}
+
 // Report is the aggregated observation of one machine after a run: the
 // whole-run and steady-window counters plus the per-primary task reports
 // (including host-PT fragmentation).
@@ -77,6 +157,30 @@ type Report struct {
 	Steady Stats
 	// Tasks holds one report per primary task, in task order.
 	Tasks []TaskReport
+	// Guests holds one report per guest in creation order (destroyed
+	// guests included, with frozen counters).
+	Guests []GuestReport
+	// HostFrag aggregates host-PT fragmentation across every live guest —
+	// the host-wide view of the §3.2 metric.
+	HostFrag metrics.FragReport
+}
+
+// guestReport assembles one guest's post-run observation.
+func (g *Guest) guestReport() GuestReport {
+	r := GuestReport{
+		Index: g.index,
+		VMID:  g.hostVM.ID(),
+		Alive: g.alive,
+		Stats: g.Snapshot(),
+	}
+	if g.alive {
+		r.MappedGuestPages = g.hostVM.MappedGuestPages()
+		r.HostUserFrames = g.m.host.Memory().CountOwnedVM(physmem.KindUser, g.hostVM.ID())
+		for _, t := range g.tasks {
+			r.Frag = metrics.Combine(r.Frag, metrics.HostPTFragmentation(t.proc.PageTable(), g.hostVM.PageTable()))
+		}
+	}
+	return r
 }
 
 // Observe assembles the machine's aggregated report. It walks page tables
@@ -88,7 +192,15 @@ func (m *Machine) Observe() Report {
 	if m.steadySnapTaken {
 		steady = whole.Delta(m.statsAtInit)
 	}
-	return Report{Whole: whole, Steady: steady, Tasks: m.Report()}
+	rep := Report{Whole: whole, Steady: steady, Tasks: m.Report()}
+	for _, g := range m.guests {
+		gr := g.guestReport()
+		rep.Guests = append(rep.Guests, gr)
+		if gr.Alive {
+			rep.HostFrag = metrics.Combine(rep.HostFrag, gr.Frag)
+		}
+	}
+	return rep
 }
 
 // Registry returns the machine's named counter registry, built on first
@@ -97,15 +209,35 @@ func (m *Machine) Observe() Report {
 // encoding. The registry holds read closures over the components' own
 // counter fields: the hot loop keeps bumping plain struct fields, and
 // counters are only read when a snapshot is taken.
+//
+// A single-guest machine registers the original flat names (walker.*,
+// tlb.*, guest.*, buddy.guest.*), keeping historical telemetry byte-
+// identical. With N>1 guests each guest's components get a vm<index>.
+// prefix, followed by the shared cache.* and buddy.host.* groups. The
+// name set is frozen at the first call — build the registry after any
+// mid-run guest churn (destroyed guests stay registered; their counters
+// freeze).
 func (m *Machine) Registry() *obs.Registry {
 	if m.registry == nil {
 		r := obs.NewRegistry()
 		r.Counter("machine.accesses", func() uint64 { return m.totalAccesses })
-		m.walker.RegisterObs(r, "walker.")
-		m.walker.TLB().RegisterObs(r, "tlb.")
-		m.hier.RegisterObs(r, "cache.")
-		m.guest.RegisterObs(r, "guest.")
-		m.guest.Memory().Buddy().RegisterObs(r, "buddy.guest.")
+		if len(m.guests) == 1 {
+			g := m.guests[0]
+			g.walker.RegisterObs(r, "walker.")
+			g.walker.TLB().RegisterObs(r, "tlb.")
+			m.hier.RegisterObs(r, "cache.")
+			g.kernel.RegisterObs(r, "guest.")
+			g.kernel.Memory().Buddy().RegisterObs(r, "buddy.guest.")
+		} else {
+			for _, g := range m.guests {
+				p := fmt.Sprintf("vm%d.", g.index)
+				g.walker.RegisterObs(r, p+"walker.")
+				g.walker.TLB().RegisterObs(r, p+"tlb.")
+				g.kernel.RegisterObs(r, p+"guest.")
+				g.kernel.Memory().Buddy().RegisterObs(r, p+"buddy.guest.")
+			}
+			m.hier.RegisterObs(r, "cache.")
+		}
 		m.host.Memory().Buddy().RegisterObs(r, "buddy.host.")
 		m.registry = r
 	}

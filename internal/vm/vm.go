@@ -93,7 +93,99 @@ func (c CostModel) faultCost(kind guestos.FaultKind) uint64 {
 	}
 }
 
-// Config describes the simulated platform.
+// GuestConfig describes one tenant VM: its guest-physical memory size and
+// the guest kernel's allocator policy. Everything hardware-shaped (caches,
+// walker geometry, costs, vCPUs) lives in HostConfig — tenants share the
+// host's hardware, they only differ in size and software policy.
+type GuestConfig struct {
+	// MemBytes sizes the guest-physical memory. Must not exceed the host's
+	// memory; the *sum* across guests may (host frames are allocated
+	// lazily, so overcommit is the normal cloud configuration).
+	MemBytes uint64
+	// Policy selects the guest allocator; Magnet configures PTEMagnet.
+	Policy guestos.AllocPolicy
+	Magnet core.Config
+	// EnableThresholdBytes gates PTEMagnet per process (§4.4).
+	EnableThresholdBytes uint64
+	// ReclaimWatermark forwards to the guest kernel (§4.3).
+	ReclaimWatermark float64
+	// Seed drives this guest kernel's randomness.
+	Seed int64
+}
+
+// HostConfig describes a multi-tenant simulated platform: the shared host
+// hardware plus one GuestConfig per VM packed onto it.
+type HostConfig struct {
+	// HostMemBytes sizes host-physical memory.
+	HostMemBytes uint64
+	// NumCPUs is the vCPU count; tasks are pinned round-robin across it.
+	NumCPUs int
+	// Cache overrides the hierarchy (zero value → cache.DefaultConfig).
+	Cache cache.Config
+	// Walker overrides translation machinery (zero → nested.DefaultConfig).
+	// Every guest gets its own walker (private TLBs and walk caches) built
+	// from this one geometry, sharing the host's data caches.
+	Walker nested.Config
+	// Costs prices kernel events (zero → DefaultCostModel).
+	Costs CostModel
+	// Quantum is the number of accesses one task executes per scheduling
+	// turn (small → aggressive fault interleaving). Zero → 8.
+	Quantum int
+	// PTLevels selects the page-table depth for both the guest and the
+	// host dimension: 4 (default) or 5 (LA57 + 5-level EPT, §2.5).
+	PTLevels int
+	// Guests lists the VMs to boot, in VM-id order.
+	Guests []GuestConfig
+}
+
+// Validate checks the host config and every guest config. Like
+// Config.Validate, zero values of optional fields always pass.
+func (c HostConfig) Validate() error {
+	if c.HostMemBytes == 0 {
+		return &ConfigError{Field: "HostMemBytes", Value: c.HostMemBytes, Reason: "must be set"}
+	}
+	if c.NumCPUs < 0 {
+		return &ConfigError{Field: "NumCPUs", Value: c.NumCPUs, Reason: "must be positive (zero selects the default)"}
+	}
+	if c.Quantum < 0 {
+		return &ConfigError{Field: "Quantum", Value: c.Quantum, Reason: "must be positive (zero selects the default)"}
+	}
+	if c.PTLevels != 0 && c.PTLevels != 4 && c.PTLevels != 5 {
+		return &ConfigError{Field: "PTLevels", Value: c.PTLevels, Reason: "must be 4 or 5 (zero selects the default)"}
+	}
+	if len(c.Guests) == 0 {
+		return &ConfigError{Field: "Guests", Value: len(c.Guests), Reason: "at least one guest is required"}
+	}
+	for i, g := range c.Guests {
+		if err := g.validate(c.HostMemBytes, fmt.Sprintf("Guests[%d].", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks one guest config against the host memory size.
+func (g GuestConfig) validate(hostMemBytes uint64, prefix string) error {
+	if g.MemBytes == 0 {
+		return &ConfigError{Field: prefix + "MemBytes", Value: g.MemBytes, Reason: "must be set"}
+	}
+	if g.MemBytes > hostMemBytes {
+		return &ConfigError{Field: prefix + "MemBytes", Value: g.MemBytes, Reason: "guest memory cannot exceed host memory"}
+	}
+	if g.ReclaimWatermark < 0 || g.ReclaimWatermark > 1 {
+		return &ConfigError{Field: prefix + "ReclaimWatermark", Value: g.ReclaimWatermark, Reason: "must be in [0, 1]"}
+	}
+	if g.Magnet.GroupPages != 0 {
+		if err := g.Magnet.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Config describes a single-VM simulated platform — the original shape of
+// the package, kept as a thin adapter over HostConfig with exactly one
+// guest. New multi-tenant code should use HostConfig directly.
 type Config struct {
 	// HostMemBytes / GuestMemBytes size the two physical memories
 	// (default 512MB / 256MB — the paper's 128GB/64GB at 1/256 scale).
@@ -165,6 +257,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Host converts the legacy single-VM config into the equivalent
+// one-guest HostConfig. New(c) and NewHost(c.Host()) build identical
+// machines.
+func (c Config) Host() HostConfig {
+	return HostConfig{
+		HostMemBytes: c.HostMemBytes,
+		NumCPUs:      c.NumCPUs,
+		Cache:        c.Cache,
+		Walker:       c.Walker,
+		Costs:        c.Costs,
+		Quantum:      c.Quantum,
+		PTLevels:     c.PTLevels,
+		Guests: []GuestConfig{{
+			MemBytes:             c.GuestMemBytes,
+			Policy:               c.Policy,
+			Magnet:               c.Magnet,
+			EnableThresholdBytes: c.EnableThresholdBytes,
+			ReclaimWatermark:     c.ReclaimWatermark,
+			Seed:                 c.Seed,
+		}},
+	}
+}
+
 // DefaultConfig returns the scaled-down mirror of the paper's Table 2
 // platform.
 func DefaultConfig() Config {
@@ -197,6 +312,7 @@ type TaskSpec struct {
 type Task struct {
 	spec  TaskSpec
 	batch workload.BatchProgram
+	guest *Guest
 	proc  *guestos.Process
 	cpu   int
 	index int
@@ -235,10 +351,13 @@ func (t *Task) Name() string { return t.spec.Prog.Name() }
 // Process returns the guest process executing the task.
 func (t *Task) Process() *guestos.Process { return t.proc }
 
+// GuestIndex returns the index of the guest the task runs in.
+func (t *Task) GuestIndex() int { return t.guest.index }
+
 // env adapts a guest process to the workload.Env interface, wiring TLB
-// shootdowns into frees.
+// shootdowns (against the owning guest's private walker) into frees.
 type env struct {
-	m    *Machine
+	g    *Guest
 	proc *guestos.Process
 }
 
@@ -250,7 +369,7 @@ func (e env) Free(va arch.VirtAddr, bytes uint64) error {
 	}
 	start := va.PageBase()
 	end := arch.VirtAddr(arch.AlignUp(uint64(va)+bytes, arch.PageSize))
-	e.m.walker.InvalidateRange(e.proc.ASID(), start, end)
+	e.g.walker.InvalidateRange(e.proc.ASID(), start, end)
 	return nil
 }
 
@@ -310,15 +429,60 @@ func (p perAccess) Fault(task int, va arch.VirtAddr, kind uint8, seq uint64) {
 	p.t.Fault(task, va, kind, seq)
 }
 
-// Machine is the assembled platform.
-type Machine struct {
-	cfg    Config
-	host   *hostos.Kernel
+// Guest is one tenant VM's software stack on the shared host: the VM as
+// the host sees it, the guest kernel with its allocator policy, the VM's
+// private translation machinery (TLBs, nested TLB, walk caches), and the
+// tasks pinned to its vCPUs. Guests share the host's physical memory,
+// buddy allocator, data-cache hierarchy, and cost model through the
+// enclosing Machine.
+type Guest struct {
+	m      *Machine
+	index  int
+	cfg    GuestConfig
 	hostVM *hostos.VM
-	guest  *guestos.Kernel
-	hier   *cache.Hierarchy
+	kernel *guestos.Kernel
 	walker *nested.Walker
 	tasks  []*Task
+	alive  bool
+
+	// accesses counts this guest's executed accesses (the machine total is
+	// the sum across guests).
+	accesses uint64
+}
+
+// Index returns the guest's position in creation order (0-based, stable
+// across teardown — dead guests keep their slot).
+func (g *Guest) Index() int { return g.index }
+
+// Kernel exposes the guest kernel.
+func (g *Guest) Kernel() *guestos.Kernel { return g.kernel }
+
+// HostVM exposes the VM as the host sees it.
+func (g *Guest) HostVM() *hostos.VM { return g.hostVM }
+
+// Walker exposes the guest's private nested walker.
+func (g *Guest) Walker() *nested.Walker { return g.walker }
+
+// Tasks returns the guest's tasks in creation order.
+func (g *Guest) Tasks() []*Task { return g.tasks }
+
+// Alive reports whether the guest has not been destroyed.
+func (g *Guest) Alive() bool { return g.alive }
+
+// Accesses returns the guest's executed access count.
+func (g *Guest) Accesses() uint64 { return g.accesses }
+
+// Machine is the assembled platform: the shared host resources (host
+// kernel + physical memory, data-cache hierarchy, cost model) and the N
+// guest stacks multiplexed onto them by one global quantum scheduler.
+type Machine struct {
+	cfg    HostConfig
+	host   *hostos.Kernel
+	hier   *cache.Hierarchy
+	guests []*Guest
+	// tasks is the machine-global flat task list in creation order,
+	// spanning every guest; Task.index is the position here.
+	tasks []*Task
 
 	totalAccesses uint64
 	unusedSeries  metrics.Series
@@ -343,13 +507,29 @@ type Machine struct {
 // keeping the amortization win.
 const maxBatch = 256
 
-// New builds a machine. Zero-valued optional Config fields select their
-// documented defaults; explicitly invalid values are rejected with a
-// *ConfigError (see Config.Validate).
+// New builds a single-VM machine from the legacy config. It is exactly
+// NewHost over cfg.Host() — one code path — but validates with the legacy
+// field names.
 func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
 	}
+	return newMachine(cfg.Host())
+}
+
+// NewHost builds a multi-tenant machine: the shared host plus one guest
+// stack per entry in cfg.Guests. Zero-valued optional fields select their
+// documented defaults; explicitly invalid values are rejected with a
+// *ConfigError (see HostConfig.Validate).
+func NewHost(cfg HostConfig) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	return newMachine(cfg)
+}
+
+// newMachine builds from an already validated HostConfig.
+func newMachine(cfg HostConfig) (*Machine, error) {
 	if cfg.NumCPUs == 0 {
 		cfg.NumCPUs = 8
 	}
@@ -368,48 +548,102 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.PTLevels == 0 {
 		cfg.PTLevels = 4
 	}
-	host := hostos.NewKernel(cfg.HostMemBytes)
-	hostVM, err := host.CreateVMWithLevels(cfg.GuestMemBytes, cfg.PTLevels)
-	if err != nil {
-		return nil, err
-	}
-	guest := guestos.NewKernel(guestos.Config{
-		MemBytes:             cfg.GuestMemBytes,
-		Policy:               cfg.Policy,
-		Magnet:               cfg.Magnet,
-		EnableThresholdBytes: cfg.EnableThresholdBytes,
-		ReclaimWatermark:     cfg.ReclaimWatermark,
-		Seed:                 cfg.Seed,
-		PTLevels:             cfg.PTLevels,
-	})
-	hier := cache.NewHierarchy(cfg.Cache)
 	batchCap := cfg.Quantum
 	if batchCap > maxBatch {
 		batchCap = maxBatch
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:    cfg,
-		host:   host,
-		hostVM: hostVM,
-		guest:  guest,
-		hier:   hier,
-		walker: nested.New(cfg.Walker, hier, hostVM),
+		host:   hostos.NewKernel(cfg.HostMemBytes),
+		hier:   cache.NewHierarchy(cfg.Cache),
 		accBuf: make([]workload.Access, batchCap),
 		recBuf: make([]AccessRecord, 0, batchCap),
-	}, nil
+	}
+	for _, gc := range cfg.Guests {
+		if _, err := m.addGuest(gc); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
-// Guest exposes the guest kernel.
-func (m *Machine) Guest() *guestos.Kernel { return m.guest }
+// addGuest boots one guest stack on the host (no validation).
+func (m *Machine) addGuest(gc GuestConfig) (*Guest, error) {
+	hostVM, err := m.host.CreateVMWithLevels(gc.MemBytes, m.cfg.PTLevels)
+	if err != nil {
+		return nil, err
+	}
+	kernel := guestos.NewKernel(guestos.Config{
+		MemBytes:             gc.MemBytes,
+		Policy:               gc.Policy,
+		Magnet:               gc.Magnet,
+		EnableThresholdBytes: gc.EnableThresholdBytes,
+		ReclaimWatermark:     gc.ReclaimWatermark,
+		Seed:                 gc.Seed,
+		PTLevels:             m.cfg.PTLevels,
+		VMID:                 hostVM.ID(),
+	})
+	g := &Guest{
+		m:      m,
+		index:  len(m.guests),
+		cfg:    gc,
+		hostVM: hostVM,
+		kernel: kernel,
+		walker: nested.New(m.cfg.Walker, m.hier, hostVM),
+		alive:  true,
+	}
+	m.guests = append(m.guests, g)
+	return g, nil
+}
 
-// HostVM exposes the VM as the host sees it.
-func (m *Machine) HostVM() *hostos.VM { return m.hostVM }
+// AddGuest boots a new guest mid-lifetime — the "VM boots" half of a
+// churn scenario. The guest starts with no tasks; add them with
+// Guest.AddTask. The config is validated against the host.
+func (m *Machine) AddGuest(gc GuestConfig) (*Guest, error) {
+	if err := gc.validate(m.cfg.HostMemBytes, "Guests[new]."); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	return m.addGuest(gc)
+}
 
-// Hierarchy exposes the cache hierarchy.
+// DestroyGuest tears a guest down mid-lifetime — the "VM dies" half of a
+// churn scenario. Its tasks stop, its walker state is flushed (the cached
+// gPA→hPA translations die with the host page table), and the host frees
+// every host frame the VM held back to the shared buddy allocator. The
+// guest keeps its slot in Guests() with frozen counters, so per-guest
+// telemetry of a dead tenant remains reportable. Destroying a dead guest
+// is a no-op.
+func (m *Machine) DestroyGuest(g *Guest) {
+	if g == nil || !g.alive || g.m != m {
+		return
+	}
+	g.alive = false
+	for _, t := range g.tasks {
+		t.done = true
+	}
+	g.walker.InvalidateAll()
+	m.host.DestroyVM(g.hostVM)
+}
+
+// Guests returns every guest ever booted, in creation order (including
+// destroyed ones — check Alive).
+func (m *Machine) Guests() []*Guest { return m.guests }
+
+// Host exposes the host kernel.
+func (m *Machine) Host() *hostos.Kernel { return m.host }
+
+// Guest exposes the first guest's kernel — the whole machine's kernel in
+// the single-VM configuration this accessor predates.
+func (m *Machine) Guest() *guestos.Kernel { return m.guests[0].kernel }
+
+// HostVM exposes the first guest's VM as the host sees it.
+func (m *Machine) HostVM() *hostos.VM { return m.guests[0].hostVM }
+
+// Hierarchy exposes the shared cache hierarchy.
 func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 
-// Walker exposes the nested walker.
-func (m *Machine) Walker() *nested.Walker { return m.walker }
+// Walker exposes the first guest's nested walker.
+func (m *Machine) Walker() *nested.Walker { return m.guests[0].walker }
 
 // UnusedSeries returns the sampled §6.2 gauge.
 func (m *Machine) UnusedSeries() *metrics.Series { return &m.unusedSeries }
@@ -418,29 +652,42 @@ func (m *Machine) UnusedSeries() *metrics.Series { return &m.unusedSeries }
 // (nil disables tracing).
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
-// AddTask spawns a guest process for prog and schedules it. Tasks are
-// pinned to vCPUs round-robin in creation order, like the paper pinning
-// application and co-runner threads to distinct cores.
+// AddTask schedules prog on the first guest (the only guest in a
+// single-VM machine). Multi-tenant callers use Guest.AddTask.
 func (m *Machine) AddTask(prog workload.Program, role Role) (*Task, error) {
-	proc, err := m.guest.Spawn(prog.Name(), prog.FootprintBytes())
+	return m.guests[0].AddTask(prog, role)
+}
+
+// AddTask spawns a guest process for prog inside g and schedules it.
+// Tasks are pinned to vCPUs round-robin — offset by the guest index, so
+// colocated guests' first tasks land on different vCPUs — like the paper
+// pinning application and co-runner threads to distinct cores.
+func (g *Guest) AddTask(prog workload.Program, role Role) (*Task, error) {
+	if !g.alive {
+		return nil, fmt.Errorf("vm: guest %d is destroyed", g.index)
+	}
+	m := g.m
+	proc, err := g.kernel.Spawn(prog.Name(), prog.FootprintBytes())
 	if err != nil {
 		return nil, err
 	}
 	t := &Task{
 		spec:  TaskSpec{Prog: prog, Role: role},
 		batch: workload.AsBatch(prog),
+		guest: g,
 		proc:  proc,
-		cpu:   len(m.tasks) % m.cfg.NumCPUs,
+		cpu:   (g.index + len(g.tasks)) % m.cfg.NumCPUs,
 		index: len(m.tasks),
 	}
-	if err := prog.Setup(env{m: m, proc: proc}); err != nil {
+	if err := prog.Setup(env{g: g, proc: proc}); err != nil {
 		return nil, err
 	}
+	g.tasks = append(g.tasks, t)
 	m.tasks = append(m.tasks, t)
 	return t, nil
 }
 
-// Tasks returns all scheduled tasks.
+// Tasks returns all scheduled tasks across every guest, in creation order.
 func (m *Machine) Tasks() []*Task { return m.tasks }
 
 // RunOptions control a Run.
@@ -454,6 +701,22 @@ type RunOptions struct {
 	SampleEvery uint64
 	// MaxAccesses aborts a runaway run (safety net). Zero → no limit.
 	MaxAccesses uint64
+	// Events fire between scheduler rounds, in slice order, once each,
+	// when the machine-global access count reaches AtAccesses — the hook
+	// VM-churn scenarios use to boot and kill guests mid-run. Because
+	// events are keyed to the deterministic access count and run on the
+	// scheduler goroutine, a churn run is as reproducible as a static one.
+	Events []RunEvent
+}
+
+// RunEvent is one scheduled mid-run action (see RunOptions.Events).
+type RunEvent struct {
+	// AtAccesses is the machine-global access count at or after which the
+	// event fires (checked between rounds).
+	AtAccesses uint64
+	// Do runs on the scheduler goroutine; returning an error aborts the
+	// run.
+	Do func(*Machine) error
 }
 
 // Run interleaves all tasks until every primary finishes. Co-runners are
@@ -470,39 +733,47 @@ func (m *Machine) Run(opts RunOptions) error {
 // cancellation point for every workload inner loop — workloads only
 // execute inside scheduler rounds.
 func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
-	primariesLeft := 0
-	for _, t := range m.tasks {
-		if t.spec.Role == RolePrimary {
-			primariesLeft++
-		}
-	}
-	if primariesLeft == 0 {
+	if countPrimaries(m.tasks) == 0 {
 		return fmt.Errorf("vm: no primary task")
 	}
 	corunnersActive := true
 	var nextSample uint64
-	for primariesLeft > 0 {
+	nextEvent := 0
+	// The round loop walks guests in creation order and, inside each
+	// guest, its tasks in creation order — a fixed interleaving fully
+	// determined by the configuration, never by host goroutine timing.
+	// Primaries-left is recomputed each round (rather than decremented)
+	// because events may add or destroy whole guests between rounds.
+	for len(m.pendingPrimaries()) > 0 {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("vm: run canceled: %w", err)
 		}
+		for nextEvent < len(opts.Events) && m.totalAccesses >= opts.Events[nextEvent].AtAccesses {
+			if err := opts.Events[nextEvent].Do(m); err != nil {
+				return fmt.Errorf("vm: run event %d: %w", nextEvent, err)
+			}
+			nextEvent++
+		}
 		progressed := false
-		for _, t := range m.tasks {
-			if t.done {
+		for _, g := range m.guests {
+			if !g.alive {
 				continue
 			}
-			if t.spec.Role == RoleCorunner && !corunnersActive {
-				continue
+			for _, t := range g.tasks {
+				if t.done {
+					continue
+				}
+				if t.spec.Role == RoleCorunner && !corunnersActive {
+					continue
+				}
+				if err := m.runQuantum(t); err != nil {
+					return err
+				}
+				progressed = true
 			}
-			if err := m.runQuantum(t); err != nil {
-				return err
-			}
-			if t.done && t.spec.Role == RolePrimary {
-				primariesLeft--
-			}
-			progressed = true
 		}
 		if !progressed {
-			return fmt.Errorf("vm: scheduler stalled with %d primaries left", primariesLeft)
+			return fmt.Errorf("vm: scheduler stalled with %d primaries left", len(m.pendingPrimaries()))
 		}
 		if !m.steadySnapTaken && m.primariesInitDone() {
 			m.steadySnapTaken = true
@@ -512,7 +783,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 			}
 		}
 		if opts.SampleEvery > 0 && m.totalAccesses >= nextSample {
-			m.unusedSeries.Record(m.totalAccesses, int64(m.guest.UnusedReservedPages()))
+			m.unusedSeries.Record(m.totalAccesses, int64(m.unusedReservedPages()))
 			nextSample = m.totalAccesses + opts.SampleEvery
 		}
 		if opts.MaxAccesses > 0 && m.totalAccesses >= opts.MaxAccesses {
@@ -522,9 +793,41 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 	if opts.SampleEvery > 0 {
 		// Always close the series with the final state, so short runs
 		// still report their peak.
-		m.unusedSeries.Record(m.totalAccesses, int64(m.guest.UnusedReservedPages()))
+		m.unusedSeries.Record(m.totalAccesses, int64(m.unusedReservedPages()))
 	}
 	return nil
+}
+
+// pendingPrimaries returns the primary tasks that have not finished.
+func (m *Machine) pendingPrimaries() []*Task {
+	var out []*Task
+	for _, t := range m.tasks {
+		if t.spec.Role == RolePrimary && !t.done {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func countPrimaries(tasks []*Task) int {
+	n := 0
+	for _, t := range tasks {
+		if t.spec.Role == RolePrimary {
+			n++
+		}
+	}
+	return n
+}
+
+// unusedReservedPages sums the §6.2 gauge across live guests.
+func (m *Machine) unusedReservedPages() int64 {
+	var n int64
+	for _, g := range m.guests {
+		if g.alive {
+			n += int64(g.kernel.UnusedReservedPages())
+		}
+	}
+	return n
 }
 
 func (m *Machine) primariesInitDone() bool {
@@ -540,7 +843,7 @@ func (m *Machine) primariesInitDone() bool {
 // from the workload in batches (capped at the scratch-buffer size) and
 // running each batch through the hardware pipeline.
 func (m *Machine) runQuantum(t *Task) error {
-	e := env{m: m, proc: t.proc}
+	e := env{g: t.guest, proc: t.proc}
 	remaining := m.cfg.Quantum
 	for remaining > 0 {
 		limit := remaining
@@ -577,7 +880,7 @@ func (m *Machine) runQuantum(t *Task) error {
 func (m *Machine) execBatch(t *Task, accs []workload.Access) error {
 	var (
 		costs  = &m.cfg.Costs
-		walker = m.walker
+		walker = t.guest.walker
 		hier   = m.hier
 		tracer = m.tracer
 		asid   = t.proc.ASID()
@@ -667,6 +970,7 @@ batchLoop:
 	// loop, which updated counters before failing).
 	work := executed * costs.WorkCyclesPerAccess
 	m.totalAccesses += executed
+	t.guest.accesses += executed
 	t.Accesses += executed
 	t.WorkCycles += work
 	t.DataCycles += dataC
@@ -689,6 +993,9 @@ func (t *Task) markInitBoundary() {
 // TaskReport is the measured slice of one primary task.
 type TaskReport struct {
 	Name string
+	// Guest is the index of the guest the task ran in (0 on a single-VM
+	// machine).
+	Guest int
 	// Whole-run totals.
 	Cycles, WorkCycles, DataCycles, TranslationCycles, FaultCycles uint64
 	Accesses                                                       uint64
@@ -728,6 +1035,7 @@ func (m *Machine) Report() []TaskReport {
 		}
 		r := TaskReport{
 			Name:              t.Name(),
+			Guest:             t.guest.index,
 			Cycles:            t.Cycles,
 			WorkCycles:        t.WorkCycles,
 			DataCycles:        t.DataCycles,
@@ -735,7 +1043,11 @@ func (m *Machine) Report() []TaskReport {
 			FaultCycles:       t.FaultCycles,
 			Accesses:          t.Accesses,
 			DataServed:        t.DataServed,
-			Frag:              metrics.HostPTFragmentation(t.proc.PageTable(), m.hostVM.PageTable()),
+		}
+		if t.guest.alive {
+			// A destroyed guest's host page table is gone; its tasks keep
+			// their cycle totals but report zero-valued fragmentation.
+			r.Frag = metrics.HostPTFragmentation(t.proc.PageTable(), t.guest.hostVM.PageTable())
 		}
 		snap := t.initSnapshot
 		if !t.initSeen {

@@ -56,7 +56,7 @@ func TestRunSoloBenchmark(t *testing.T) {
 	if r.Frag.Groups == 0 {
 		t.Error("no fragmentation groups measured")
 	}
-	ws := m.SteadyWalkStats()
+	ws := m.Observe().Steady.Walker
 	if ws.Lookups == 0 || ws.Walks == 0 {
 		t.Errorf("steady walk stats empty: %+v", ws)
 	}
@@ -235,7 +235,7 @@ func TestSteadyCacheHits(t *testing.T) {
 	if err := m.Run(RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	full := m.Hierarchy().HitCounts()
+	full := m.Snapshot().Cache.Hits
 	steady := m.SteadyCacheHits()
 	for lv := cache.Level(0); lv < cache.NumLevels; lv++ {
 		if steady[lv] > full[lv] {

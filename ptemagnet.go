@@ -173,6 +173,23 @@ type (
 	AccessTracer = vm.AccessTracer
 	// Role distinguishes measured primaries from background co-runners.
 	Role = vm.Role
+	// HostMachineConfig describes a multi-tenant platform: shared host
+	// hardware plus one TenantConfig per VM packed onto it.
+	HostMachineConfig = vm.HostConfig
+	// TenantConfig describes one VM on a multi-tenant host (size and
+	// guest allocator policy). The name differs from the internal
+	// vm.GuestConfig because GuestConfig here already names the guest
+	// kernel's own configuration.
+	TenantConfig = vm.GuestConfig
+	// Guest is one tenant VM's stack (kernel, walker, tasks) on a shared
+	// host machine.
+	Guest = vm.Guest
+	// GuestStats is one guest's slice of the machine counters.
+	GuestStats = vm.GuestStats
+	// GuestReport is the per-guest post-run observation inside a Report.
+	GuestReport = vm.GuestReport
+	// RunEvent is a scheduled mid-run action (VM churn hooks).
+	RunEvent = vm.RunEvent
 )
 
 // PerAccessTracer adapts a per-event AccessTracer to the batched Tracer
@@ -195,6 +212,10 @@ func DefaultCacheConfig(numCPUs int) CacheConfig { return cache.DefaultConfig(nu
 
 // NewMachine assembles a simulated platform.
 func NewMachine(cfg MachineConfig) (*Machine, error) { return vm.New(cfg) }
+
+// NewHostMachine assembles a multi-tenant platform: one shared host
+// running every guest in cfg.Guests.
+func NewHostMachine(cfg HostMachineConfig) (*Machine, error) { return vm.NewHost(cfg) }
 
 // DefaultMachineConfig mirrors the paper's Table 2 platform at 1/256 scale.
 func DefaultMachineConfig() MachineConfig { return vm.DefaultConfig() }

@@ -20,7 +20,7 @@ func TestPaRTFacade(t *testing.T) {
 	}
 	mem := physmem.New(16 << 20)
 	alloc := func() (ptemagnet.PhysAddr, bool) {
-		return mem.AllocGroup(ptemagnet.GroupPages, physmem.KindReserved, 1)
+		return mem.AllocGroup(ptemagnet.GroupPages, physmem.KindReserved, physmem.Own(0, 1))
 	}
 	pa, res := part.HandleFault(0x40000000, alloc)
 	if res != ptemagnet.FaultNewReservation || pa == 0 {
