@@ -1,8 +1,10 @@
 // Command ptmlint runs the repo's determinism and address-hygiene
 // analyzers (internal/lint) over the whole module and exits non-zero on
-// findings. It is wired into `make lint` and CI as a blocking check; see
-// DESIGN.md §6 for the contract each analyzer enforces and the
-// //ptmlint:allow escape hatch.
+// findings. Loading builds a module-wide static call graph, so the
+// interprocedural checks (noclock, seedflow, deprflow, obscover) see
+// through module helpers. It is wired into `make lint` and CI as a
+// blocking check; see DESIGN.md §6 for the contract each of the nine
+// analyzers enforces and the //ptmlint:allow escape hatch.
 //
 // Usage:
 //
@@ -10,8 +12,10 @@
 //
 // Each analyzer has an enable flag named after it (default true), so a
 // single check can be run in isolation (`ptmlint -noclock=false
-// -seedflow=false -archconst=false`) or temporarily waived while a large
-// refactor lands.
+// -seedflow=false ...`) or temporarily waived while a large refactor
+// lands. Allow directives are audited on every run: malformed ones,
+// ones naming unknown checks, and stale ones (suppressing nothing, for
+// a check that ran) are reported under the "ptmlint" tag.
 package main
 
 import (

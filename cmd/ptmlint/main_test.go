@@ -64,6 +64,16 @@ func TestDriverCleanExit(t *testing.T) {
 	}
 }
 
+// TestDriverFlagDisablesCheck pins that a per-analyzer flag really
+// removes the check: the errwrap fixture is clean once -errwrap=false.
+func TestDriverFlagDisablesCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", fixtureDir("errwrap"), "-errwrap=false"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
 // TestDriverJSON checks the -json output shape.
 func TestDriverJSON(t *testing.T) {
 	var stdout, stderr bytes.Buffer

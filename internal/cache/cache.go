@@ -324,17 +324,3 @@ func (h *Hierarchy) RegisterObs(r *obs.Registry, prefix string) {
 	}
 }
 
-// HitCounts returns the number of accesses served per level since creation.
-//
-// Deprecated: use Snapshot().Hits.
-func (h *Hierarchy) HitCounts() [NumLevels]uint64 { return h.Snapshot().Hits }
-
-// TotalAccesses returns the total number of accesses performed.
-//
-// Deprecated: use Snapshot().Total.
-func (h *Hierarchy) TotalAccesses() uint64 { return h.Snapshot().Total() }
-
-// MissRatio returns the fraction of accesses served by main memory.
-//
-// Deprecated: use Snapshot().MissRatio.
-func (h *Hierarchy) MissRatio() float64 { return h.Snapshot().MissRatio() }

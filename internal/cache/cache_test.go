@@ -104,21 +104,21 @@ func TestHitCounts(t *testing.T) {
 	h.Access(0, 0x100) // memory
 	h.Access(0, 0x100) // L1
 	h.Access(1, 0x100) // LLC
-	counts := h.HitCounts()
-	if counts[LevelMemory] != 1 || counts[LevelL1] != 1 || counts[LevelLLC] != 1 {
-		t.Errorf("counts = %v", counts)
+	s := h.Snapshot()
+	if s.Hits[LevelMemory] != 1 || s.Hits[LevelL1] != 1 || s.Hits[LevelLLC] != 1 {
+		t.Errorf("counts = %v", s.Hits)
 	}
-	if h.TotalAccesses() != 3 {
-		t.Errorf("TotalAccesses = %d", h.TotalAccesses())
+	if s.Total() != 3 {
+		t.Errorf("Total = %d", s.Total())
 	}
-	if r := h.MissRatio(); r < 0.33 || r > 0.34 {
+	if r := s.MissRatio(); r < 0.33 || r > 0.34 {
 		t.Errorf("MissRatio = %f", r)
 	}
 }
 
 func TestMissRatioEmptyHierarchy(t *testing.T) {
 	h := NewHierarchy(tinyConfig())
-	if h.MissRatio() != 0 {
+	if h.Snapshot().MissRatio() != 0 {
 		t.Error("MissRatio on untouched hierarchy should be 0")
 	}
 }

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprflow makes PR 5's "grep-clean" rule permanent: no internal non-test
+// code may use an identifier whose doc comment carries a "Deprecated:"
+// paragraph. Deprecated wrappers exist only as a compatibility surface for
+// the public facade and the examples, so those two places are exempt —
+// everything under internal/ and cmd/ must use the replacement API the
+// deprecation notice names.
+//
+// A use inside the body of a declaration that is itself deprecated is
+// allowed (one compatibility wrapper may delegate to another); the
+// declaration itself is, of course, not a "use".
+var Deprflow = &Analyzer{
+	Name: "deprflow",
+	Doc:  "flag internal (internal/, cmd/) uses of Deprecated: identifiers",
+	Run:  runDeprflow,
+}
+
+// deprflowExempt reports whether a package may still call deprecated
+// identifiers: the module-root facade and the examples are the public
+// compatibility surface the wrappers exist for.
+func deprflowExempt(relDir string) bool {
+	return relDir == "." || relDir == "examples" || strings.HasPrefix(relDir, "examples/")
+}
+
+func runDeprflow(p *Pass) {
+	if deprflowExempt(p.Pkg.RelDir) {
+		return
+	}
+	deprecated := p.Module.deprecatedObjects()
+	if len(deprecated) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			// Uses inside a deprecated declaration's own body are wrapper
+			// delegation, not adoption.
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok && deprecated[obj] != "" {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				note, isDep := deprecated[obj]
+				if !isDep {
+					return true
+				}
+				p.Reportf(id.Pos(), "use of deprecated %s: %s", obj.Name(), note)
+				return true
+			})
+		}
+	}
+}
+
+// deprecatedObjects collects (once per module, memoized) every object in
+// the module whose doc comment carries a "Deprecated:" paragraph, mapped
+// to the first line of that notice.
+func (m *Module) deprecatedObjects() map[types.Object]string {
+	if m.deprecated != nil {
+		return m.deprecated
+	}
+	m.deprecated = make(map[types.Object]string)
+	record := func(info *types.Info, id *ast.Ident, doc *ast.CommentGroup) {
+		note := deprecationNote(doc)
+		if note == "" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			m.deprecated[obj] = note
+		}
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					record(pkg.Info, d.Name, d.Doc)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							doc := s.Doc
+							if doc == nil {
+								doc = d.Doc
+							}
+							record(pkg.Info, s.Name, doc)
+						case *ast.ValueSpec:
+							doc := s.Doc
+							if doc == nil {
+								doc = d.Doc
+							}
+							for _, name := range s.Names {
+								record(pkg.Info, name, doc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return m.deprecated
+}
+
+// deprecationNote returns the first line of a doc comment's "Deprecated:"
+// paragraph, or "" if the comment carries none. Following the godoc
+// convention, the paragraph must start at the beginning of a line.
+func deprecationNote(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "Deprecated:") {
+			return text
+		}
+	}
+	return ""
+}

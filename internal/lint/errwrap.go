@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Errwrap enforces the typed-error contracts (*OOMError, *ConfigError,
+// the io and package sentinels): error chains must survive wrapping and
+// be inspected structurally, never by identity or concrete type.
+//
+// Three rules:
+//
+//   - fmt.Errorf with an error-typed operand must pair it with %w, so the
+//     wrapped error stays matchable by errors.Is/As. A %v or %s on an
+//     error flattens the chain — callers can no longer detect the
+//     sentinel underneath.
+//   - ==/!= against an error value (other than the nil literal) must be
+//     errors.Is: direct identity comparison misses wrapped errors.
+//     switch statements over an error value are the same comparison.
+//   - type assertions and type switches on an error-typed expression must
+//     be errors.As, for the same reason.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "enforce %w wrapping and errors.Is/As over identity comparison and type assertion",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				// An `Is(target error) bool` method is the errors.Is
+				// protocol itself: identity comparison against the
+				// sentinel inside it is the intended implementation,
+				// not a violation.
+				if isIsMethod(p, n) {
+					return false
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(p, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrCompare(p, n)
+				}
+			case *ast.SwitchStmt:
+				checkErrSwitch(p, n)
+			case *ast.TypeAssertExpr:
+				// n.Type == nil is the `x.(type)` of a type switch,
+				// handled below with a message naming the construct.
+				if n.Type != nil && isErrorType(p.TypeOf(n.X)) {
+					p.Reportf(n.Pos(),
+						"type assertion on error %s: use errors.As so wrapped errors still match",
+						types.ExprString(n.X))
+				}
+			case *ast.TypeSwitchStmt:
+				if x := typeSwitchOperand(n); x != nil && isErrorType(p.TypeOf(x)) {
+					p.Reportf(n.Switch,
+						"type switch on error %s: use errors.As so wrapped errors still match",
+						types.ExprString(x))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose error-typed operands are
+// formatted with anything but %w.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkg := p.PkgNameOf(sel)
+	if pkg == nil || pkg.Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constFormat(p, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if !isErrorType(p.TypeOf(arg)) {
+			continue
+		}
+		if i < len(verbs) && verbs[i] == 'w' {
+			continue
+		}
+		verb := "no verb"
+		if i < len(verbs) {
+			verb = "%" + string(verbs[i])
+		}
+		p.Reportf(arg.Pos(),
+			"fmt.Errorf formats error %s with %s: use %%w so the chain stays matchable by errors.Is/As",
+			types.ExprString(arg), verb)
+	}
+}
+
+// checkErrCompare flags ==/!= where one operand is error-typed and the
+// other is not the untyped nil literal.
+func checkErrCompare(p *Pass, bin *ast.BinaryExpr) {
+	if !isErrorType(p.TypeOf(bin.X)) && !isErrorType(p.TypeOf(bin.Y)) {
+		return
+	}
+	if isNilLiteral(p, bin.X) || isNilLiteral(p, bin.Y) {
+		return
+	}
+	p.Reportf(bin.OpPos,
+		"error compared with %s: use errors.Is so wrapped errors still match",
+		bin.Op)
+}
+
+// checkErrSwitch flags `switch err { case sentinel: }` — each case with a
+// non-nil expression is an identity comparison in disguise.
+func checkErrSwitch(p *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(p.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNilLiteral(p, e) {
+				p.Reportf(e.Pos(),
+					"switch over error %s compares by identity: use errors.Is so wrapped errors still match",
+					types.ExprString(sw.Tag))
+			}
+		}
+	}
+}
+
+// isIsMethod reports whether fd is a method Is(error) bool — the hook
+// the errors.Is chain walk consults.
+func isIsMethod(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// typeSwitchOperand extracts the switched expression of a type switch.
+func typeSwitchOperand(n *ast.TypeSwitchStmt) ast.Expr {
+	var x ast.Expr
+	switch assign := n.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			if ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := assign.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	return x
+}
+
+// isErrorType reports whether t is the error interface or implements it
+// (as a value or via pointer receiver on a named type's pointer).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" &&
+			iface.Method(0).Type().(*types.Signature).Params().Len() == 0
+	}
+	return types.Implements(t, errorInterface)
+}
+
+// errorInterface is the universe error interface type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isNilLiteral reports whether e is the predeclared nil.
+func isNilLiteral(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// constFormat extracts a compile-time-constant format string.
+func constFormat(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consumed by each successive operand
+// of a Printf-style format string. Width/precision stars consume operands
+// too and are returned as '*'; explicit argument indexes (%[n]d) disable
+// the scan from that point (rare, and never used for error wrapping).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return verbs // explicit argument index: stop scanning
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

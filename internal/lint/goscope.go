@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goscope confines concurrency to the one place the determinism argument
+// covers: the engine's worker pool (DESIGN.md §5), whose fixed reduce
+// order is what makes parallel runs bit-identical to serial ones. A
+// goroutine spawned or a channel fed anywhere else in simulation code has
+// no such guarantee — scheduling order would leak straight into results.
+//
+// Flagged outside internal/engine and cmd/ (front ends own their
+// signal-handling and pprof goroutines): `go` statements and channel
+// sends. The one sanctioned exception is the wall-clock locking ablation
+// in internal/sim/extras.go, which measures real contention and is
+// annotated //ptmlint:allow(goscope) at the spawn site.
+var Goscope = &Analyzer{
+	Name: "goscope",
+	Doc:  "flag goroutine spawns and channel sends outside internal/engine and cmd/",
+	Run:  runGoscope,
+}
+
+// goscopeExempt reports whether a package may spawn goroutines: the
+// engine (deterministic worker pool) and command front ends.
+func goscopeExempt(relDir string) bool {
+	return relDir == "internal/engine" || relDir == "cmd" || strings.HasPrefix(relDir, "cmd/")
+}
+
+func runGoscope(p *Pass) {
+	if goscopeExempt(p.Pkg.RelDir) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Go,
+					"goroutine spawned in simulation code: only the engine's worker pool (internal/engine) guarantees deterministic reduce; run scenarios through it or annotate //ptmlint:allow(goscope) reason")
+			case *ast.SendStmt:
+				p.Reportf(n.Arrow,
+					"channel send in simulation code: cross-goroutine communication outside internal/engine has no deterministic ordering; route results through the engine")
+			}
+			return true
+		})
+	}
+}

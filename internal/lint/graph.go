@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is ptmlint's facts layer: a module-wide static call graph built
+// once per Load, in the same dependency order the type checker uses, that
+// the interprocedural analyzers (noclock, seedflow, deprflow, obscover)
+// query. The graph is intentionally simple — direct static call edges only:
+//
+//   - a call through an interface method resolves to the interface method
+//     object (no devirtualization), so dynamic dispatch does not propagate
+//     facts;
+//   - function values passed around as data are not edges (assigning
+//     time.Now to a field and calling it later is invisible);
+//   - calls inside a function literal are attributed to the enclosing
+//     declared function, which is how closures actually execute.
+//
+// Those limits are acceptable because the contracts ptmlint enforces are
+// about *code idiom*, not adversarial obfuscation: the failure mode being
+// closed is the honest one-level helper that launders a wall-clock read or
+// a global rand draw into the sim core (ISSUE 7), not reflection tricks.
+
+// CallSite is one static call edge: the position of the call expression and
+// the callee's type-checker object.
+type CallSite struct {
+	// Pos locates the call in the caller's body.
+	Pos token.Pos
+	// Callee is the resolved function or method object. For calls into
+	// other modules (including the standard library) this is the imported
+	// package's object; for interface calls it is the interface method.
+	Callee *types.Func
+}
+
+// FuncNode is one declared function or method of the module, with its
+// outgoing static call edges in source order.
+type FuncNode struct {
+	// Obj is the canonical type-checker object of the declaration.
+	Obj *types.Func
+	// Pkg is the package the declaration lives in.
+	Pkg *Package
+	// Decl is the syntax, body included (nil body for assembly stubs).
+	Decl *ast.FuncDecl
+	// Calls lists every resolved call expression in the body (function
+	// literals included), in position order.
+	Calls []CallSite
+}
+
+// CallGraph indexes every declared function of the module.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// ordered holds the nodes in deterministic order: packages in RelDir
+	// order, declarations in position order — the iteration order every
+	// graph query uses, so findings come out stable.
+	ordered []*FuncNode
+}
+
+// buildGraph constructs the call graph. Called by Load after type checking,
+// package by package in the already-sorted module order.
+func (m *Module) buildGraph() {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Pkg: pkg, Decl: fd}
+				if fd.Body != nil {
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if callee := calleeOf(pkg.Info, call); callee != nil {
+							node.Calls = append(node.Calls, CallSite{Pos: call.Pos(), Callee: callee})
+						}
+						return true
+					})
+				}
+				sort.Slice(node.Calls, func(i, j int) bool { return node.Calls[i].Pos < node.Calls[j].Pos })
+				g.nodes[obj] = node
+				g.ordered = append(g.ordered, node)
+			}
+		}
+	}
+	m.Graph = g
+}
+
+// calleeOf resolves the static callee of a call expression, or nil for
+// calls through function values, conversions, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the graph node declaring fn, or nil for functions declared
+// outside the module (or not declared at all, e.g. interface methods).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Nodes returns every declared function in deterministic order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.ordered }
+
+// TaintStep is one hop of a taint chain: the function whose body contains
+// the call, and the call site it took toward the source.
+type TaintStep struct {
+	Fn   *types.Func
+	Site CallSite
+}
+
+// Taint computes which module functions can reach a "source" call.
+//
+// source classifies a single call site as the fact origin (e.g. a call to
+// time.Now). barrier marks functions whose implementations are sanctioned:
+// a barrier function is never tainted, so taint does not propagate through
+// it to callers (e.g. the engine package owns the timing hook, so calling
+// into the engine never taints sim code).
+//
+// The result maps every tainted function to its witness chain: the source
+// call site first, then one step per intermediate call, ending at a call
+// inside the mapped function itself. Chains are deterministic — the DFS
+// explores call sites in position order.
+// The computation is a worklist fixpoint over reverse call edges, so taint
+// is found even through call cycles (mutually recursive helpers).
+func (g *CallGraph) Taint(source func(CallSite) bool, barrier func(*FuncNode) bool) map[*types.Func][]TaintStep {
+	chains := make(map[*types.Func][]TaintStep, 8)
+
+	// Reverse edges: callee object → caller nodes (with the call site),
+	// built in deterministic node order.
+	type revEdge struct {
+		caller *FuncNode
+		site   CallSite
+	}
+	callers := make(map[*types.Func][]revEdge)
+	var queue []*FuncNode
+
+	// Seed: every non-barrier function with a direct source call.
+	for _, node := range g.ordered {
+		if barrier(node) {
+			continue
+		}
+		for _, site := range node.Calls {
+			callers[site.Callee] = append(callers[site.Callee], revEdge{caller: node, site: site})
+			if source(site) && chains[node.Obj] == nil {
+				chains[node.Obj] = []TaintStep{{Fn: node.Obj, Site: site}}
+				queue = append(queue, node)
+			}
+		}
+	}
+
+	// Propagate to callers until the set stops growing. Queue order is
+	// deterministic (seeded and extended in node order), so the witness
+	// chains are too.
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, edge := range callers[node.Obj] {
+			if chains[edge.caller.Obj] != nil || barrier(edge.caller) {
+				continue
+			}
+			chain := append(append([]TaintStep{}, chains[node.Obj]...), TaintStep{Fn: edge.caller.Obj, Site: edge.site})
+			chains[edge.caller.Obj] = chain
+			queue = append(queue, edge.caller)
+		}
+	}
+	return chains
+}
+
+// ChainString renders a taint chain as "f → g → h", outermost caller first,
+// for finding messages.
+func ChainString(chain []TaintStep) string {
+	s := ""
+	for i := len(chain) - 1; i >= 0; i-- {
+		if s != "" {
+			s += " → "
+		}
+		s += chain[i].Fn.Name()
+	}
+	return s
+}

@@ -3,20 +3,26 @@
 // at compile time (DESIGN.md §6). It is built only on the standard
 // library's go/ast, go/parser, go/token, and go/types.
 //
-// Five analyzers ship today:
+// Loading type-checks every package in dependency order and then builds a
+// module-wide static call graph (CallGraph) — the facts layer the
+// interprocedural analyzers query. Nine analyzers ship today:
 //
 //   - detrange: range over a map in non-test code is flagged unless the
 //     loop is the collect-keys-then-sort idiom or carries an annotation.
 //     Map iteration order is randomized per run, so any map-order-
 //     dependent computation breaks the engine's bit-identical-reduce
 //     contract (DESIGN.md §5).
-//   - noclock: time.Now/time.Since outside the engine's timing hook and
-//     cmd/ is flagged. Wall-clock reads inside simulation code leak
-//     host-machine state into results.
-//   - seedflow: global math/rand top-level functions are flagged, as is
-//     rand.NewSource with a seed that is not a constant, a config field,
-//     or an engine.DeriveSeed result. Every random stream must be
-//     replayable from the scenario seed alone.
+//   - noclock: any call whose static call chain reaches time.Now or
+//     time.Since outside the engine's timing hook and cmd/ is flagged —
+//     direct reads and reads laundered through module helpers alike.
+//     Wall-clock reads inside simulation code leak host-machine state
+//     into results.
+//   - seedflow: global math/rand top-level functions are flagged — at the
+//     call site and at every simulation-code call chain that reaches one
+//     through a module helper — as is rand.NewSource with a seed that is
+//     not a constant, a config field, or an engine.DeriveSeed result.
+//     Every random stream must be replayable from the scenario seed
+//     alone.
 //   - archconst: raw shift/mask/scale literals of the address geometry
 //     (9, 12, 21, 511, 512, 0xFFF, 4096) outside internal/arch are
 //     flagged, pointing at the named constant to use instead.
@@ -24,13 +30,29 @@
 //     named value type carrying Delta(T) T, and every method named Delta
 //     must be func (T) Delta(T) T on a value receiver — the uniform
 //     stats shape the observability layer builds on (DESIGN.md §8).
+//   - deprflow: internal non-test code (internal/, cmd/) must not use an
+//     identifier whose doc comment carries a "Deprecated:" paragraph;
+//     only the facade and examples/ may keep calling the compatibility
+//     wrappers.
+//   - obscover: for every type with both a Snapshot() method and a
+//     RegisterObs(*Registry, ...) method, each uint64 counter leaf the
+//     snapshot exposes must be read by some registration closure, so no
+//     counter silently goes dark in run telemetry.
+//   - errwrap: fmt.Errorf with an error operand must wrap it with %w;
+//     errors must be matched with errors.Is/errors.As, never by ==/!=
+//     against a sentinel, switch-over-error, type assertion, or type
+//     switch.
+//   - goscope: goroutine spawns and channel sends are confined to
+//     internal/engine (the deterministic worker pool) and cmd/; anywhere
+//     else they are flagged.
 //
 // A finding can be waived in place with a written justification:
 //
 //	//ptmlint:allow(detrange) commutative integer sum, order-insensitive
 //
 // on the flagged line or the line directly above it. The reason text is
-// mandatory; a bare allow is itself reported.
+// mandatory; a bare allow is itself reported, as is an allow naming a
+// check no analyzer ships and a stale allow that suppresses nothing.
 package lint
 
 import (
@@ -73,7 +95,10 @@ type Analyzer struct {
 }
 
 // Analyzers lists every check ptmlint ships, in reporting order.
-var Analyzers = []*Analyzer{Detrange, Noclock, Seedflow, Archconst, Statshape}
+var Analyzers = []*Analyzer{
+	Detrange, Noclock, Seedflow, Archconst, Statshape,
+	Deprflow, Obscover, Errwrap, Goscope,
+}
 
 // Pass hands one package to one analyzer.
 type Pass struct {
@@ -190,8 +215,12 @@ func parseDirective(text string) allowDirective {
 // Run executes the given analyzers over every package of m and returns
 // the surviving findings sorted by file, line, and column. Findings
 // covered by a well-formed //ptmlint:allow directive on the same line or
-// the line above are suppressed; malformed directives are themselves
-// reported under the "ptmlint" check.
+// the line above are suppressed. The directives themselves are audited
+// under the "ptmlint" check: malformed ones, ones naming a check no
+// analyzer ships, and stale ones — a well-formed allow for an active
+// check that suppressed nothing this run. Staleness is only judged for
+// checks among the analyzers actually run, so narrowing the run with
+// driver flags never misreports the other checks' suppressions.
 func Run(m *Module, analyzers []*Analyzer) []Finding {
 	var raw []Finding
 	for _, pkg := range m.Pkgs {
@@ -202,16 +231,33 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 	}
 
 	directives := parseDirectives(m)
+	used := make([]bool, len(directives))
 	var out []Finding
 	for _, f := range raw {
-		if allowed(directives, f) {
+		if allowed(directives, used, f) {
 			continue
 		}
 		out = append(out, f)
 	}
-	for _, d := range directives {
-		if d.bad != "" {
+
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	shipped := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		shipped[a.Name] = true
+	}
+	for i, d := range directives {
+		switch {
+		case d.bad != "":
 			out = append(out, Finding{File: d.file, Line: d.line, Col: 1, Check: "ptmlint", Message: d.bad})
+		case !shipped[d.check]:
+			out = append(out, Finding{File: d.file, Line: d.line, Col: 1, Check: "ptmlint",
+				Message: fmt.Sprintf("allow(%s) names a check no analyzer ships; remove the directive or fix the check name", d.check)})
+		case active[d.check] && !used[i]:
+			out = append(out, Finding{File: d.file, Line: d.line, Col: 1, Check: "ptmlint",
+				Message: fmt.Sprintf("stale suppression: allow(%s) matches no finding on this or the next line; the violation is gone, so remove the directive", d.check)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -230,15 +276,19 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-// allowed reports whether a well-formed allow directive covers f.
-func allowed(directives []allowDirective, f Finding) bool {
-	for _, d := range directives {
+// allowed reports whether a well-formed allow directive covers f,
+// marking every covering directive as used (for stale-suppression
+// auditing).
+func allowed(directives []allowDirective, used []bool, f Finding) bool {
+	hit := false
+	for i, d := range directives {
 		if d.bad != "" || d.check != f.Check || d.file != f.File {
 			continue
 		}
 		if d.line == f.Line || d.line == f.Line-1 {
-			return true
+			used[i] = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }

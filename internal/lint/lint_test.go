@@ -99,6 +99,47 @@ func TestNoclockFixture(t *testing.T)   { checkFixture(t, "noclock", Noclock) }
 func TestSeedflowFixture(t *testing.T)  { checkFixture(t, "seedflow", Seedflow) }
 func TestArchconstFixture(t *testing.T) { checkFixture(t, "archconst", Archconst) }
 func TestStatshapeFixture(t *testing.T) { checkFixture(t, "statshape", Statshape) }
+func TestDeprflowFixture(t *testing.T)  { checkFixture(t, "deprflow", Deprflow) }
+func TestObscoverFixture(t *testing.T)  { checkFixture(t, "obscover", Obscover) }
+func TestErrwrapFixture(t *testing.T)   { checkFixture(t, "errwrap", Errwrap) }
+func TestGoscopeFixture(t *testing.T)   { checkFixture(t, "goscope", Goscope) }
+
+// TestDirectiveAudit pins the allow-directive audit: a suppression that
+// matches a finding survives silently, a stale one and one naming an
+// unknown check are reported, and nothing else fires.
+func TestDirectiveAudit(t *testing.T) {
+	mod := loadFixture(t, "directives")
+	findings := Run(mod, Analyzers)
+	var stale, unknown int
+	for _, f := range findings {
+		switch {
+		case f.Check != "ptmlint":
+			t.Errorf("unexpected non-audit finding: %s", f)
+		case strings.Contains(f.Message, "stale suppression: allow(detrange)"):
+			stale++
+		case strings.Contains(f.Message, "allow(nosuchcheck) names a check no analyzer ships"):
+			unknown++
+		default:
+			t.Errorf("unexpected audit finding: %s", f)
+		}
+	}
+	if stale != 1 || unknown != 1 {
+		t.Errorf("stale=%d unknown=%d, want 1 and 1; findings: %v", stale, unknown, findings)
+	}
+}
+
+// TestStaleJudgedOnlyForActiveChecks pins that narrowing the run to a
+// subset of analyzers does not misreport the other checks' suppressions:
+// the live allow(detrange) in the fixture is only auditable when
+// detrange actually ran.
+func TestStaleJudgedOnlyForActiveChecks(t *testing.T) {
+	mod := loadFixture(t, "directives")
+	for _, f := range Run(mod, []*Analyzer{Noclock}) {
+		if strings.Contains(f.Message, "stale suppression") {
+			t.Errorf("stale reported for a check that did not run: %s", f)
+		}
+	}
+}
 
 // TestRepoLintsClean is the contract this PR establishes: the repository
 // as shipped carries zero findings under every analyzer.
@@ -154,17 +195,21 @@ func TestParseDirective(t *testing.T) {
 func TestMalformedDirectiveReported(t *testing.T) {
 	directives := []allowDirective{{file: "a.go", line: 9, check: "detrange", bad: "no reason"}}
 	f := Finding{File: "a.go", Line: 10, Check: "detrange", Message: "x"}
-	if allowed(directives, f) {
+	if allowed(directives, make([]bool, 1), f) {
 		t.Error("malformed directive must not suppress findings")
 	}
 	ok := []allowDirective{{file: "a.go", line: 9, check: "detrange", reason: "fine"}}
-	if !allowed(ok, f) {
+	used := make([]bool, 1)
+	if !allowed(ok, used, f) {
 		t.Error("well-formed directive on the previous line must suppress")
 	}
-	if allowed(ok, Finding{File: "a.go", Line: 12, Check: "detrange"}) {
+	if !used[0] {
+		t.Error("suppressing directive must be marked used")
+	}
+	if allowed(ok, make([]bool, 1), Finding{File: "a.go", Line: 12, Check: "detrange"}) {
 		t.Error("directive must not suppress findings two lines away")
 	}
-	if allowed(ok, Finding{File: "a.go", Line: 10, Check: "noclock"}) {
+	if allowed(ok, make([]bool, 1), Finding{File: "a.go", Line: 10, Check: "noclock"}) {
 		t.Error("directive must not suppress a different check")
 	}
 }

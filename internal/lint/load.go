@@ -25,6 +25,14 @@ type Module struct {
 	// Pkgs holds every package of the module, sorted by RelDir so that
 	// analysis (and therefore ptmlint's own output) is deterministic.
 	Pkgs []*Package
+	// Graph is the module-wide static call graph (the facts layer the
+	// interprocedural analyzers query), built once after type checking.
+	Graph *CallGraph
+
+	// Memoized module-wide facts, computed on first query.
+	clockChains map[*types.Func][]TaintStep // noclock: reaches time.Now/Since
+	randChains  map[*types.Func][]TaintStep // seedflow: reaches global math/rand
+	deprecated  map[types.Object]string     // deprflow: Deprecated: objects
 }
 
 // Package is one type-checked package of the module. Only non-test files
@@ -73,6 +81,7 @@ func Load(dir string) (*Module, error) {
 	if err := m.typeCheck(); err != nil {
 		return nil, err
 	}
+	m.buildGraph()
 	return m, nil
 }
 

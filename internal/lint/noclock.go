@@ -2,18 +2,27 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
-// Noclock flags time.Now and time.Since calls outside the two places
-// wall-clock reads are legitimate: the engine's timing hook
-// (engine.StartTimer, which stamps scenario Events) and the cmd/ front
-// ends that print progress to a human. Anywhere else, a clock read is
-// host-machine state leaking into simulation code — exactly the class of
-// hidden input that makes two runs with identical seeds diverge.
+// Noclock flags wall-clock reads reaching simulation code. time.Now and
+// time.Since are legitimate in exactly two places: the engine package
+// (engine.StartTimer, the timing hook that stamps scenario Events) and the
+// cmd/ front ends that print progress to a human. Anywhere else, a clock
+// read is host-machine state leaking into simulation code — exactly the
+// class of hidden input that makes two runs with identical seeds diverge.
+//
+// The check is interprocedural (ISSUE 7): beyond direct calls, any call
+// from simulation code into a module function that transitively reaches
+// time.Now/time.Since is flagged at the call site, with the witness chain
+// in the message. The engine package is a taint barrier — calling
+// engine.StartTimer (or any engine API) is the sanctioned way to measure —
+// so taint cannot be laundered through a one-level helper, but the hook
+// itself stays usable.
 var Noclock = &Analyzer{
 	Name: "noclock",
-	Doc:  "flag wall-clock reads outside the engine timing hook and cmd/",
+	Doc:  "flag wall-clock reads (direct or via module helpers) outside the engine timing hook and cmd/",
 	Run:  runNoclock,
 }
 
@@ -24,10 +33,21 @@ func noclockExempt(relDir string) bool {
 	return relDir == "internal/engine" || relDir == "cmd" || strings.HasPrefix(relDir, "cmd/")
 }
 
+// isClockCall reports whether the call site invokes time.Now or
+// time.Since.
+func isClockCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	return fn.Name() == "Now" || fn.Name() == "Since"
+}
+
 func runNoclock(p *Pass) {
 	if noclockExempt(p.Pkg.RelDir) {
 		return
 	}
+	// Direct reads: a whole-file scan, so clock calls outside function
+	// bodies (package-level variable initializers) are caught too.
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -52,4 +72,36 @@ func runNoclock(p *Pass) {
 			return true
 		})
 	}
+
+	// Transitive reads: flag calls into module functions that reach the
+	// clock through any chain of non-exempt helpers.
+	chains := p.Module.noclockTaint()
+	for _, node := range p.Module.Graph.Nodes() {
+		if node.Pkg != p.Pkg {
+			continue
+		}
+		for _, site := range node.Calls {
+			chain, tainted := chains[site.Callee]
+			if !tainted {
+				continue
+			}
+			last := chain[0]
+			p.Reportf(site.Pos,
+				"call to %s reaches time.%s (%s → time.%s): wall-clock state must not leak into simulation code; measure through engine.StartTimer",
+				site.Callee.Name(), last.Site.Callee.Name(), ChainString(chain), last.Site.Callee.Name())
+		}
+	}
+}
+
+// noclockTaint computes (once per module, memoized) which module functions
+// transitively reach a wall-clock read, with the engine and cmd/ packages
+// as barriers.
+func (m *Module) noclockTaint() map[*types.Func][]TaintStep {
+	if m.clockChains == nil {
+		m.clockChains = m.Graph.Taint(
+			func(site CallSite) bool { return isClockCall(site.Callee) },
+			func(node *FuncNode) bool { return noclockExempt(node.Pkg.RelDir) },
+		)
+	}
+	return m.clockChains
 }

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Obscover cross-checks struct counters against the observability registry
+// (DESIGN.md §8): for every type that exposes both a Snapshot() method and
+// a RegisterObs(*obs.Registry, prefix) method, every uint64 counter the
+// Snapshot reads off the receiver must also be read by some registration
+// inside RegisterObs (or a module function it calls). A counter visible in
+// the typed snapshot but absent from the registry "goes dark": it never
+// reaches telemetry, and no output diff will ever notice.
+//
+// Counter discovery follows the repo's registration idiom — closures that
+// read fields directly through the receiver (`func() uint64 { return
+// t.lookups }`), which is also what keeps registration allocation-free on
+// the hot path. Reads laundered through intermediate locals are invisible
+// to the check; write the direct form.
+//
+// Struct-typed and array-typed fields are expanded to their uint64 leaves
+// (`stats.Faults`, `hits[...]`), so a new field added to a Stats struct is
+// flagged until its registration exists. Types with only one of the two
+// methods are out of scope: their counters are surfaced through a parent
+// component's snapshot instead.
+var Obscover = &Analyzer{
+	Name: "obscover",
+	Doc:  "flag Snapshot counters missing from the type's RegisterObs registrations",
+	Run:  runObscover,
+}
+
+func runObscover(p *Pass) {
+	// Pair up Snapshot and RegisterObs methods by receiver type.
+	type methods struct {
+		snapshot, register *ast.FuncDecl
+	}
+	byType := map[*types.Named]*methods{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Snapshot" && fd.Name.Name != "RegisterObs" {
+				continue
+			}
+			named := recvNamed(p, fd)
+			if named == nil {
+				continue
+			}
+			m := byType[named]
+			if m == nil {
+				m = &methods{}
+				byType[named] = m
+			}
+			if fd.Name.Name == "Snapshot" {
+				m.snapshot = fd
+			} else if registersOnRegistry(p, fd) {
+				m.register = fd
+			}
+		}
+	}
+	// Deterministic order over receiver types.
+	var names []*types.Named
+	for n := range byType {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return names[i].Obj().Name() < names[j].Obj().Name()
+	})
+
+	for _, named := range names {
+		m := byType[named]
+		if m.snapshot == nil || m.register == nil {
+			continue
+		}
+		leaves := snapshotLeaves(p, named, m.snapshot)
+		if len(leaves) == 0 {
+			continue
+		}
+		read := registeredReads(p, named, m.register)
+		for _, leaf := range leaves {
+			if read[leaf] {
+				continue
+			}
+			p.Reportf(m.register.Name.Pos(),
+				"counter %s.%s is exposed by Snapshot but never read by a RegisterObs registration: it goes dark in the registry (register it, or drop it from the snapshot)",
+				named.Obj().Name(), leaf)
+		}
+	}
+}
+
+// recvNamed resolves a method's receiver to its named type.
+func recvNamed(p *Pass, fd *ast.FuncDecl) *types.Named {
+	obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// registersOnRegistry reports whether fd looks like the observability
+// registration hook: its first parameter is a *Registry.
+func registersOnRegistry(p *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	if params.Len() == 0 {
+		return false
+	}
+	ptr, ok := params.At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// snapshotLeaves returns the uint64 counter leaves the Snapshot method
+// exposes: every receiver field it references, expanded through structs
+// and arrays down to uint64 leaves, as dotted paths.
+func snapshotLeaves(p *Pass, named *types.Named, snapshot *ast.FuncDecl) []string {
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	roots := map[string]bool{}
+	ast.Inspect(snapshot.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, path := fieldPathOf(p, named, sel)
+		if base && len(path) > 0 {
+			roots[path[0]] = true
+		}
+		return true
+	})
+	var leaves []string
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if !roots[f.Name()] {
+			continue
+		}
+		expandLeaves(f.Type(), f.Name(), &leaves)
+	}
+	sort.Strings(leaves)
+	return leaves
+}
+
+// expandLeaves appends the dotted path of every uint64 leaf reachable from
+// t by value: uint64 itself, arrays (indexing is path-transparent), and
+// struct fields.
+func expandLeaves(t types.Type, path string, out *[]string) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.Uint64 {
+			*out = append(*out, path)
+		}
+	case *types.Array:
+		expandLeaves(u.Elem(), path, out)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			expandLeaves(f.Type(), path+"."+f.Name(), out)
+		}
+	}
+}
+
+// registeredReads collects the dotted receiver-field paths read inside
+// RegisterObs — closures included — and inside every module function it
+// transitively calls.
+func registeredReads(p *Pass, named *types.Named, register *ast.FuncDecl) map[string]bool {
+	read := map[string]bool{}
+	graph := p.Module.Graph
+
+	collect := func(body ast.Node, pkg *Package) {
+		pass := &Pass{Module: p.Module, Pkg: pkg}
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if base, path := fieldPathOf(pass, named, sel); base && len(path) > 0 {
+				read[strings.Join(path, ".")] = true
+			}
+			return true
+		})
+	}
+	collect(register.Body, p.Pkg)
+
+	// Follow module-internal calls out of RegisterObs (helper methods that
+	// register on the same receiver).
+	obj, _ := p.Pkg.Info.Defs[register.Name].(*types.Func)
+	start := graph.NodeOf(obj)
+	if start == nil {
+		return read
+	}
+	seen := map[*FuncNode]bool{start: true}
+	queue := []*FuncNode{start}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, site := range node.Calls {
+			callee := graph.NodeOf(site.Callee)
+			if callee == nil || seen[callee] || callee.Decl.Body == nil {
+				continue
+			}
+			seen[callee] = true
+			collect(callee.Decl.Body, callee.Pkg)
+			queue = append(queue, callee)
+		}
+	}
+	return read
+}
+
+// fieldPathOf resolves a selector expression to a field path rooted at a
+// value of the given named type: (true, ["stats","Faults"]) for
+// k.stats.Faults with k a *Kernel. Index expressions are transparent
+// (h.hits[lv] reads "hits"); any non-field link (method call, package
+// qualifier, or a base of another type) yields (false, nil).
+func fieldPathOf(p *Pass, named *types.Named, sel *ast.SelectorExpr) (onRecv bool, path []string) {
+	// The selector itself must be a field selection.
+	selection, ok := p.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false, nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		t := p.TypeOf(x)
+		if t == nil {
+			return false, nil
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj() == named.Obj() {
+			return true, []string{sel.Sel.Name}
+		}
+	case *ast.SelectorExpr:
+		if ok, inner := fieldPathOf(p, named, x); ok {
+			return true, append(inner, sel.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if xs, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			if ok, inner := fieldPathOf(p, named, xs); ok {
+				return true, append(inner, sel.Sel.Name)
+			}
+		}
+	}
+	return false, nil
+}

@@ -17,9 +17,15 @@ import (
 //
 // Constructing generators (rand.New, rand.NewZipf) is fine — it is the
 // seed provenance that matters.
+//
+// The global-source rule is interprocedural (ISSUE 7): a call into a
+// module function that transitively draws from the global source is
+// flagged at the call site with the witness chain, so a one-level helper
+// cannot launder rand.Intn into the sim core even if its own finding was
+// waived.
 var Seedflow = &Analyzer{
 	Name: "seedflow",
-	Doc:  "flag global math/rand use and rand.NewSource seeds of unknown provenance",
+	Doc:  "flag global math/rand use (direct or via module helpers) and rand.NewSource seeds of unknown provenance",
 	Run:  runSeedflow,
 }
 
@@ -29,6 +35,23 @@ var seedflowConstructors = map[string]bool{
 	"New":       true,
 	"NewSource": true,
 	"NewZipf":   true,
+}
+
+// isGlobalRandCall reports whether the call site invokes a math/rand
+// top-level function backed by the process-global source.
+func isGlobalRandCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	// Methods on *rand.Rand (an explicit generator) have a receiver; only
+	// package-level functions touch the global source.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return !seedflowConstructors[fn.Name()]
 }
 
 func runSeedflow(p *Pass) {
@@ -61,6 +84,38 @@ func runSeedflow(p *Pass) {
 			return true
 		})
 	}
+
+	// Transitive draws from the global source, through any chain of
+	// module helpers.
+	chains := p.Module.seedflowTaint()
+	for _, node := range p.Module.Graph.Nodes() {
+		if node.Pkg != p.Pkg {
+			continue
+		}
+		for _, site := range node.Calls {
+			chain, tainted := chains[site.Callee]
+			if !tainted {
+				continue
+			}
+			last := chain[0]
+			p.Reportf(site.Pos,
+				"call to %s reaches global rand.%s (%s → rand.%s): random streams must come from a per-scenario generator",
+				site.Callee.Name(), last.Site.Callee.Name(), ChainString(chain), last.Site.Callee.Name())
+		}
+	}
+}
+
+// seedflowTaint computes (once per module, memoized) which module
+// functions transitively draw from the global math/rand source. No
+// barriers: the global source is illegitimate everywhere, cmd/ included.
+func (m *Module) seedflowTaint() map[*types.Func][]TaintStep {
+	if m.randChains == nil {
+		m.randChains = m.Graph.Taint(
+			func(site CallSite) bool { return isGlobalRandCall(site.Callee) },
+			func(node *FuncNode) bool { return false },
+		)
+	}
+	return m.randChains
 }
 
 // seedOK reports whether a seed expression has acceptable provenance:

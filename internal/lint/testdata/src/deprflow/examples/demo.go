@@ -1,0 +1,11 @@
+// The examples tree is the compatibility surface deprecated wrappers
+// exist for — uses here are exempt.
+package main
+
+import "fixture/internal/tlb"
+
+func main() {
+	t := &tlb.TLB{}
+	_ = t.Lookups()
+	_ = tlb.OldDefaultEntries
+}

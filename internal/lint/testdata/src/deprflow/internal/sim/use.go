@@ -1,0 +1,26 @@
+// Fixture for the deprflow analyzer: internal code must use the
+// replacement API the deprecation notice names.
+package sim
+
+import "fixture/internal/tlb"
+
+// Probe uses the deprecated accessor — flagged.
+func Probe(t *tlb.TLB) uint64 {
+	return t.Lookups() // want `\[deprflow\] use of deprecated Lookups: Deprecated: use Snapshot\(\)\.Lookups\.`
+}
+
+// ProbeWell reads through the snapshot — fine.
+func ProbeWell(t *tlb.TLB) uint64 {
+	return t.Snapshot().Lookups
+}
+
+// Configure names the deprecated type — flagged.
+func Configure() any {
+	var c tlb.LegacyConfig // want `\[deprflow\] use of deprecated LegacyConfig: Deprecated: use Stats\.`
+	return c
+}
+
+// Size reads the deprecated variable — flagged.
+func Size() int {
+	return tlb.OldDefaultEntries // want `\[deprflow\] use of deprecated OldDefaultEntries: Deprecated: size explicitly\.`
+}

@@ -1,0 +1,51 @@
+// Fixture for the deprflow analyzer: the package defining the deprecated
+// compatibility surface.
+package tlb
+
+// Stats is the snapshot of the TLB counters.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+}
+
+// TLB is a toy TLB with counters.
+type TLB struct {
+	lookups uint64
+	hits    uint64
+}
+
+// Snapshot reads the counters at once.
+func (t *TLB) Snapshot() Stats { return Stats{Lookups: t.lookups, Hits: t.hits} }
+
+// Lookups returns the number of probes performed.
+//
+// Deprecated: use Snapshot().Lookups.
+func (t *TLB) Lookups() uint64 { return t.Snapshot().Lookups }
+
+// Ratio returns the hit ratio.
+//
+// Deprecated: use Snapshot.
+func (t *TLB) Ratio() float64 {
+	// Delegation between deprecated wrappers is allowed: this body is
+	// itself deprecated.
+	if t.Lookups() == 0 {
+		return 0
+	}
+	return float64(t.Snapshot().Hits) / float64(t.Lookups())
+}
+
+// LegacyConfig is the pre-Stats configuration shape.
+//
+// Deprecated: use Stats.
+type LegacyConfig struct{}
+
+// OldDefaultEntries is the historical default size.
+//
+// Deprecated: size explicitly.
+var OldDefaultEntries = 64
+
+// Adopt is NOT deprecated, so its use of a deprecated identifier inside
+// the defining package is flagged like anywhere else internal.
+func Adopt(t *TLB) uint64 {
+	return t.Lookups() // want `\[deprflow\] use of deprecated Lookups: Deprecated: use Snapshot\(\)\.Lookups\.`
+}

@@ -1,0 +1,27 @@
+// Fixture for the directive audit: Run reports stale suppressions and
+// allows naming unknown checks.
+package sim
+
+// Sum carries a live suppression: the allow matches a real detrange
+// finding, so it is not stale.
+func Sum(m map[int]int) int {
+	total := 0
+	//ptmlint:allow(detrange) commutative integer sum, order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Clean carries a stale suppression: nothing on the next line violates
+// detrange, so the directive is reported.
+func Clean() int {
+	//ptmlint:allow(detrange) left behind after the loop was rewritten
+	return 1
+}
+
+// Typo carries an allow naming a check no analyzer ships.
+func Typo() int {
+	//ptmlint:allow(nosuchcheck) the check name is wrong
+	return 2
+}

@@ -1,0 +1,105 @@
+// Fixture for the errwrap analyzer: error chains must survive wrapping
+// (%w) and be matched structurally (errors.Is/As), never by identity or
+// concrete type.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBad is the package sentinel.
+var ErrBad = errors.New("bad")
+
+// ParseError is a typed error.
+type ParseError struct{ Line int }
+
+// Error describes the failure.
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at line %d", e.Line) }
+
+// Is implements the errors.Is protocol — identity comparison against the
+// sentinel inside an Is method is the intended implementation, not
+// flagged.
+func (e *ParseError) Is(target error) bool { return target == ErrBad }
+
+// WrapBadly flattens the chain with %v — flagged.
+func WrapBadly(err error) error {
+	return fmt.Errorf("reading: %v", err) // want `\[errwrap\] fmt\.Errorf formats error err with %v`
+}
+
+// WrapStringly flattens the chain with %s — flagged.
+func WrapStringly(err error) error {
+	return fmt.Errorf("reading: %s", err) // want `\[errwrap\] fmt\.Errorf formats error err with %s`
+}
+
+// WrapWell wraps with %w — fine, the chain stays matchable.
+func WrapWell(err error) error {
+	return fmt.Errorf("reading: %w", err)
+}
+
+// WrapTwice wraps two errors, both with %w — fine since Go 1.20.
+func WrapTwice(a, b error) error {
+	return fmt.Errorf("%w while handling %w", a, b)
+}
+
+// FormatValue formats a non-error operand — not errwrap's business.
+func FormatValue(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// CompareBadly tests identity against the sentinel — flagged.
+func CompareBadly(err error) bool {
+	return err == ErrBad // want `\[errwrap\] error compared with ==`
+}
+
+// CompareBadlyNeq is the same violation with != — flagged.
+func CompareBadlyNeq(err error) bool {
+	return err != io.EOF // want `\[errwrap\] error compared with !=`
+}
+
+// NilCheck compares to the nil literal — fine, that is presence, not
+// identity matching.
+func NilCheck(err error) bool { return err != nil }
+
+// CompareWell matches structurally — fine.
+func CompareWell(err error) bool { return errors.Is(err, ErrBad) }
+
+// SwitchBadly switches over the error value: each non-nil case is an
+// identity comparison in disguise — flagged per case.
+func SwitchBadly(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case io.EOF: // want `\[errwrap\] switch over error err compares by identity`
+		return 1
+	}
+	return 2
+}
+
+// AssertBadly type-asserts on an error — flagged.
+func AssertBadly(err error) bool {
+	_, ok := err.(*ParseError) // want `\[errwrap\] type assertion on error err`
+	return ok
+}
+
+// AssertWell matches the concrete type structurally — fine.
+func AssertWell(err error) bool {
+	var pe *ParseError
+	return errors.As(err, &pe)
+}
+
+// TypeSwitchBadly type-switches on an error — flagged.
+func TypeSwitchBadly(err error) int {
+	switch err.(type) { // want `\[errwrap\] type switch on error err`
+	case *ParseError:
+		return 1
+	}
+	return 0
+}
+
+// Waived compares with a justified annotation — suppressed.
+func Waived(err error) bool {
+	//ptmlint:allow(errwrap) fixture demonstrates the escape hatch
+	return err == ErrBad
+}

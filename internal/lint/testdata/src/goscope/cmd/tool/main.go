@@ -1,0 +1,10 @@
+// Command front ends own their signal-handling goroutines — exempt.
+package main
+
+import "fixture/internal/sim"
+
+func main() {
+	ch := make(chan int, 1)
+	go sim.Receive(ch)
+	ch <- 1
+}

@@ -1,0 +1,13 @@
+// The engine package owns the deterministic worker pool, so it may
+// spawn goroutines and use channels freely.
+package engine
+
+// Fan runs fn on its own goroutine and reports completion.
+func Fan(fn func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		fn()
+		done <- struct{}{}
+	}()
+	return done
+}

@@ -1,0 +1,25 @@
+// Fixture for the goscope analyzer: concurrency is confined to the
+// engine's worker pool; simulation code stays single-threaded.
+package sim
+
+// work is a stand-in workload body.
+func work() {}
+
+// Spawn starts a goroutine and feeds a channel in simulation code — both
+// flagged.
+func Spawn(ch chan int) {
+	go work() // want `\[goscope\] goroutine spawned in simulation code`
+	ch <- 1   // want `\[goscope\] channel send in simulation code`
+}
+
+// Receive only drains a channel — receives carry no ordering hazard by
+// themselves, not flagged.
+func Receive(ch chan int) int {
+	return <-ch
+}
+
+// Waived spawns with a justified annotation — suppressed.
+func Waived() {
+	//ptmlint:allow(goscope) fixture demonstrates the escape hatch
+	go work()
+}

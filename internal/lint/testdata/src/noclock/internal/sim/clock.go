@@ -1,8 +1,12 @@
 // Fixture for the noclock analyzer: simulation packages must not read
-// the wall clock directly.
+// the wall clock directly, nor reach it through module helpers.
 package sim
 
-import "time"
+import (
+	"time"
+
+	"fixture/internal/engine"
+)
 
 // Stamp reads the clock inside a simulation package — flagged.
 func Stamp() time.Time {
@@ -24,4 +28,36 @@ func Waived() time.Time {
 // host state that leaks into measurements).
 func Sleepy(d time.Duration) time.Time {
 	return time.Unix(0, 0).Add(d)
+}
+
+// StampIndirect launders the clock through one module helper — the call
+// is flagged with its witness chain.
+func StampIndirect() time.Time {
+	return Stamp() // want `\[noclock\] call to Stamp reaches time\.Now \(Stamp → time\.Now\)`
+}
+
+// Core reaches the clock two hops away — still flagged, chain included.
+func Core() time.Time {
+	return StampIndirect() // want `\[noclock\] call to StampIndirect reaches time\.Now \(StampIndirect → Stamp → time\.Now\)`
+}
+
+// Timed measures through the engine's timing hook — the engine is a
+// taint barrier, so nothing is flagged.
+func Timed() time.Duration {
+	elapsed := engine.StartTimer()
+	return elapsed()
+}
+
+// PingPong and PongPing are mutually recursive: the taint fixpoint must
+// resolve the cycle rather than loop or miss it.
+func PingPong(n int) time.Time {
+	if n == 0 {
+		return time.Now() // want `\[noclock\] time\.Now in simulation code`
+	}
+	return PongPing(n - 1) // want `\[noclock\] call to PongPing reaches time\.Now \(PongPing → PingPong → time\.Now\)`
+}
+
+// PongPing is the other half of the cycle.
+func PongPing(n int) time.Time {
+	return PingPong(n - 1) // want `\[noclock\] call to PingPong reaches time\.Now \(PingPong → time\.Now\)`
 }

@@ -1,0 +1,15 @@
+// Stand-in for the real obs package: Registry is the named counter view.
+package obs
+
+// Registry holds named counter read closures.
+type Registry struct {
+	reads map[string]func() uint64
+}
+
+// Counter registers one named counter.
+func (r *Registry) Counter(name string, read func() uint64) {
+	if r.reads == nil {
+		r.reads = map[string]func() uint64{}
+	}
+	r.reads[name] = read
+}

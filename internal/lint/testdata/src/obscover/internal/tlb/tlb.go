@@ -1,0 +1,78 @@
+// Fixture for the obscover analyzer: every uint64 counter a Snapshot
+// exposes must be read by some RegisterObs registration, or it goes dark
+// in telemetry.
+package tlb
+
+import "fixture/internal/obs"
+
+// Stats is the snapshot of the TLB counters.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+}
+
+// TLB exposes lookups and hits but registers only hits — the dark
+// counter is flagged.
+type TLB struct {
+	lookups uint64
+	hits    uint64
+	evicted uint64 // not in Snapshot, so not obscover's business
+}
+
+// Snapshot reads the counters at once.
+func (t *TLB) Snapshot() Stats { return Stats{Lookups: t.lookups, Hits: t.hits} }
+
+// RegisterObs registers the counters.
+func (t *TLB) RegisterObs(r *obs.Registry, prefix string) { // want `\[obscover\] counter TLB\.lookups is exposed by Snapshot but never read`
+	r.Counter(prefix+"hits", func() uint64 { return t.hits })
+}
+
+// Full registers every snapshot counter — nothing flagged.
+type Full struct {
+	lookups uint64
+	hits    uint64
+}
+
+// Snapshot reads the counters at once.
+func (f *Full) Snapshot() Stats { return Stats{Lookups: f.lookups, Hits: f.hits} }
+
+// RegisterObs registers the counters, one directly and one through a
+// helper — the call graph makes helper registrations count.
+func (f *Full) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"lookups", func() uint64 { return f.lookups })
+	f.registerMore(r, prefix)
+}
+
+// registerMore registers the rest of the counters.
+func (f *Full) registerMore(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"hits", func() uint64 { return f.hits })
+}
+
+// WalkStats is a struct-valued counter group.
+type WalkStats struct {
+	Walks  uint64
+	Faults uint64
+}
+
+// Walker snapshots a whole struct field: its uint64 leaves are expanded,
+// and the unregistered one is flagged by its dotted path.
+type Walker struct {
+	stats WalkStats
+}
+
+// Snapshot reads the counters at once.
+func (w *Walker) Snapshot() WalkStats { return w.stats }
+
+// RegisterObs registers only one leaf of the stats struct.
+func (w *Walker) RegisterObs(r *obs.Registry, prefix string) { // want `\[obscover\] counter Walker\.stats\.Faults is exposed by Snapshot but never read`
+	r.Counter(prefix+"walks", func() uint64 { return w.stats.Walks })
+}
+
+// SnapshotOnly has no RegisterObs: its counters surface through a parent
+// component, so it is out of obscover's scope.
+type SnapshotOnly struct {
+	count uint64
+}
+
+// Snapshot reads the counter.
+func (s *SnapshotOnly) Snapshot() Stats { return Stats{Lookups: s.count} }

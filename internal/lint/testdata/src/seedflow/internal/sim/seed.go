@@ -44,3 +44,20 @@ func Waived(counter int64) *rand.Rand {
 	//ptmlint:allow(seedflow) fixture demonstrates the escape hatch
 	return rand.New(rand.NewSource(counter))
 }
+
+// GlobalIndirect launders the global source through one module helper —
+// the call is flagged with its witness chain.
+func GlobalIndirect() int {
+	return GlobalDraw() // want `\[seedflow\] call to GlobalDraw reaches global rand\.Intn \(GlobalDraw → rand\.Intn\)`
+}
+
+// CoreDraw reaches the global source two hops away — still flagged.
+func CoreDraw() int {
+	return GlobalIndirect() // want `\[seedflow\] call to GlobalIndirect reaches global rand\.Intn \(GlobalIndirect → GlobalDraw → rand\.Intn\)`
+}
+
+// LocalDraw draws from an explicit generator — methods on *rand.Rand
+// never touch the global source, so nothing is flagged.
+func LocalDraw(cfg Config) int {
+	return rand.New(rand.NewSource(cfg.Seed)).Intn(8)
+}

@@ -282,6 +282,7 @@ func RunLockingAblation(goroutines, faultsEach int) LockingResult {
 		var wg sync.WaitGroup
 		for g := 0; g < goroutines; g++ {
 			wg.Add(1)
+			//ptmlint:allow(goscope) wall-clock locking ablation: measures real lock contention, reports timing only, touches no simulation counters
 			go func(g int) {
 				defer wg.Done()
 				base := arch.VirtAddr(uint64(g) << 32)

@@ -177,16 +177,6 @@ func (s Stats) Delta(prev Stats) Stats {
 // Snapshot returns the counters accumulated since creation.
 func (t *TLB) Snapshot() Stats { return Stats{Lookups: t.lookups, Hits: t.hits} }
 
-// Lookups returns the number of probes performed.
-//
-// Deprecated: use Snapshot().Lookups.
-func (t *TLB) Lookups() uint64 { return t.Snapshot().Lookups }
-
-// Hits returns the number of successful probes.
-//
-// Deprecated: use Snapshot().Hits.
-func (t *TLB) Hits() uint64 { return t.Snapshot().Hits }
-
 // TwoLevelConfig sizes a two-level TLB.
 type TwoLevelConfig struct {
 	L1 Config
@@ -312,17 +302,3 @@ func (t *TwoLevel) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"l2_hits", func() uint64 { return t.l2Hits })
 }
 
-// Lookups returns the number of top-level probes.
-//
-// Deprecated: use Snapshot().Lookups.
-func (t *TwoLevel) Lookups() uint64 { return t.Snapshot().Lookups }
-
-// Misses returns the number of probes that missed both levels.
-//
-// Deprecated: use Snapshot().Misses.
-func (t *TwoLevel) Misses() uint64 { return t.Snapshot().Misses() }
-
-// MissRatio returns Misses/Lookups, or 0 before any lookup.
-//
-// Deprecated: use Snapshot().MissRatio.
-func (t *TwoLevel) MissRatio() float64 { return t.Snapshot().MissRatio() }

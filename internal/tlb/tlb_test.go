@@ -104,8 +104,8 @@ func TestCounters(t *testing.T) {
 	tl.Lookup(1, 1)
 	tl.Insert(1, 1, 0x1000)
 	tl.Lookup(1, 1)
-	if tl.Lookups() != 2 || tl.Hits() != 1 {
-		t.Errorf("lookups=%d hits=%d", tl.Lookups(), tl.Hits())
+	if s := tl.Snapshot(); s.Lookups != 2 || s.Hits != 1 {
+		t.Errorf("lookups=%d hits=%d", s.Lookups, s.Hits)
 	}
 }
 
@@ -151,11 +151,11 @@ func TestTwoLevelMissAccounting(t *testing.T) {
 	for vpn := uint64(0); vpn < 10; vpn++ {
 		tl.Lookup(1, vpn)
 	}
-	if tl.Misses() != 10 {
-		t.Errorf("Misses = %d, want 10", tl.Misses())
+	if s := tl.Snapshot(); s.Misses() != 10 {
+		t.Errorf("Misses = %d, want 10", s.Misses())
 	}
-	if tl.MissRatio() != 1.0 {
-		t.Errorf("MissRatio = %f", tl.MissRatio())
+	if r := tl.Snapshot().MissRatio(); r != 1.0 {
+		t.Errorf("MissRatio = %f", r)
 	}
 	for vpn := uint64(0); vpn < 10; vpn++ {
 		tl.Insert(1, vpn, arch.PhysAddr(0x1000*(vpn+1)))
@@ -165,8 +165,8 @@ func TestTwoLevelMissAccounting(t *testing.T) {
 			t.Errorf("vpn %d missing after insert", vpn)
 		}
 	}
-	if tl.MissRatio() != 0.5 {
-		t.Errorf("MissRatio = %f, want 0.5", tl.MissRatio())
+	if r := tl.Snapshot().MissRatio(); r != 0.5 {
+		t.Errorf("MissRatio = %f, want 0.5", r)
 	}
 }
 

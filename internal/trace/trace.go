@@ -180,7 +180,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("%w: short header: %w", ErrBadTrace, err)
 	}
 	if string(hdr[:4]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
@@ -197,13 +197,13 @@ func (tr *Reader) Next() (Event, error) {
 		return Event{}, io.EOF
 	}
 	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
-		if err == io.EOF && tr.count == 0 {
+		if errors.Is(err, io.EOF) && tr.count == 0 {
 			return Event{}, io.EOF
 		}
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Event{}, fmt.Errorf("%w: truncated at record %d of %d", ErrBadTrace, tr.read, tr.count)
 		}
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return Event{}, fmt.Errorf("%w: torn record %d", ErrBadTrace, tr.read)
 		}
 		return Event{}, err
@@ -229,7 +229,7 @@ func (tr *Reader) Next() (Event, error) {
 func (tr *Reader) ForEach(fn func(Event) error) error {
 	for {
 		e, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {

@@ -100,16 +100,17 @@ func TestStatsDeltaRoundTrip(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAccessorsMatchReport pins that the thin compatibility
-// wrappers return exactly the values of the aggregated report.
-func TestDeprecatedAccessorsMatchReport(t *testing.T) {
+// TestSteadySnapshotMatchesReport pins that the steady-window counters
+// derived from Snapshot deltas equal the aggregated report's view.
+func TestSteadySnapshotMatchesReport(t *testing.T) {
 	m := runSmallMachine(t, guestos.PolicyDefault)
 	rep := m.Observe()
-	if got := m.SteadyWalkStats(); !reflect.DeepEqual(got, rep.Steady.Walker) {
-		t.Errorf("SteadyWalkStats() = %+v, want %+v", got, rep.Steady.Walker)
+	steady := m.steadyStats()
+	if got := steady.Walker; !reflect.DeepEqual(got, rep.Steady.Walker) {
+		t.Errorf("steady walker = %+v, want %+v", got, rep.Steady.Walker)
 	}
-	if got := m.SteadyCacheHits(); !reflect.DeepEqual(got, rep.Steady.Cache.Hits) {
-		t.Errorf("SteadyCacheHits() = %v, want %v", got, rep.Steady.Cache.Hits)
+	if got := steady.Cache.Hits; !reflect.DeepEqual(got, rep.Steady.Cache.Hits) {
+		t.Errorf("steady cache hits = %v, want %v", got, rep.Steady.Cache.Hits)
 	}
 }
 

@@ -1010,22 +1010,6 @@ type TaskReport struct {
 	Frag metrics.FragReport
 }
 
-// SteadyWalkStats returns the walker counters accumulated after the
-// primary-init boundary (the whole run if the boundary was never reached).
-//
-// Deprecated: use Observe().Steady.Walker.
-func (m *Machine) SteadyWalkStats() nested.Stats {
-	return m.steadyStats().Walker
-}
-
-// SteadyCacheHits returns per-level cache hit counts after the primary-init
-// boundary.
-//
-// Deprecated: use Observe().Steady.Cache.Hits.
-func (m *Machine) SteadyCacheHits() [cache.NumLevels]uint64 {
-	return m.steadyStats().Cache.Hits
-}
-
 // Report assembles the post-run measurements for every primary task.
 func (m *Machine) Report() []TaskReport {
 	var out []TaskReport

@@ -236,7 +236,7 @@ func TestSteadyCacheHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := m.Snapshot().Cache.Hits
-	steady := m.SteadyCacheHits()
+	steady := m.Observe().Steady.Cache.Hits
 	for lv := cache.Level(0); lv < cache.NumLevels; lv++ {
 		if steady[lv] > full[lv] {
 			t.Errorf("steady hits at %v exceed full-run hits", lv)

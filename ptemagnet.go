@@ -287,9 +287,9 @@ type (
 // TLB + guest kernel + both buddy allocators + per-task fragmentation.
 // Run*Ctx entry points return it in ScenarioResult.Report; Machine.Observe
 // produces one for custom experiments. The scattered per-subsystem
-// accessors (Machine.SteadyWalkStats, Machine.SteadyCacheHits, the
-// cache/TLB getter methods) remain as deprecated wrappers over the same
-// data.
+// accessors that predated this shape (Machine.SteadyWalkStats, the
+// cache/TLB getter methods) are gone; Snapshot/Observe are the only
+// reading paths.
 type (
 	// Report is the aggregated observation of one machine after a run.
 	Report = vm.Report
