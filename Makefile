@@ -25,12 +25,12 @@ test:
 	$(GO) test ./...
 
 # The engine's determinism contract, the simulator's per-scenario
-# isolation, and the multi-tenant machine tests (whose scenarios run under
-# the parallel engine) are the properties the race detector guards; the
-# heavy simulation packages elsewhere are race-free by construction (no
-# goroutines) and would only slow this down.
+# isolation, and the multi-tenant/migration machine tests (whose scenarios
+# run under the parallel engine) are the properties the race detector
+# guards; the heavy simulation packages elsewhere are race-free by
+# construction (no goroutines) and would only slow this down.
 race:
-	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm
+	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm ./internal/migrate
 
 # The Pipeline* benchmarks track the batched hot path against the legacy
 # one-access adapter at three layers (workload step, walker fast path, full
@@ -54,8 +54,10 @@ experiments:
 # Telemetry determinism check (DESIGN.md §8): a quick sweep serial and
 # with 4 workers must emit byte-identical RunRecord JSONL once
 # elapsed_ms — the one sanctioned nondeterministic field — is masked.
-# Covers both the single-VM table1 set and the multi-tenant sweep, whose
-# cross-VM round-robin and churn events are the newest determinism surface.
+# Covers the single-VM table1 set, the multi-tenant sweep (cross-VM
+# round-robin and churn events), and the migration sweep (pre-copy
+# rounds, guest hand-off, the migrate.* counter group), which also diffs
+# stdout with the wall-clock timing line masked.
 OBS_SMOKE_DIR ?= $(or $(TMPDIR),/tmp)
 obs-smoke:
 	$(GO) run ./cmd/experiments -quick -exp table1 -parallel 1 -telemetry $(OBS_SMOKE_DIR)/obs-serial.jsonl
@@ -68,4 +70,12 @@ obs-smoke:
 	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mt-serial.jsonl > $(OBS_SMOKE_DIR)/obs-mt-serial.masked.jsonl
 	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mt-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-mt-parallel.masked.jsonl
 	diff $(OBS_SMOKE_DIR)/obs-mt-serial.masked.jsonl $(OBS_SMOKE_DIR)/obs-mt-parallel.masked.jsonl
-	@echo "obs-smoke: telemetry identical for 1 vs 4 workers (table1 + multitenant)"
+	$(GO) run ./cmd/experiments -quick -exp migration -parallel 1 -telemetry $(OBS_SMOKE_DIR)/obs-mig-serial.jsonl > $(OBS_SMOKE_DIR)/obs-mig-serial.out
+	$(GO) run ./cmd/experiments -quick -exp migration -parallel 4 -telemetry $(OBS_SMOKE_DIR)/obs-mig-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-mig-parallel.out
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mig-serial.jsonl > $(OBS_SMOKE_DIR)/obs-mig-serial.masked.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/obs-mig-parallel.jsonl > $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.jsonl
+	diff $(OBS_SMOKE_DIR)/obs-mig-serial.masked.jsonl $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.jsonl
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/obs-mig-serial.out > $(OBS_SMOKE_DIR)/obs-mig-serial.masked.out
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/obs-mig-parallel.out > $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.out
+	diff $(OBS_SMOKE_DIR)/obs-mig-serial.masked.out $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.out
+	@echo "obs-smoke: telemetry identical for 1 vs 4 workers (table1 + multitenant + migration)"

@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation|multitenant]
-//	            [-quick] [-seed N] [-parallel N] [-progress] [-vms N]
+//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation|multitenant|migration]
+//	            [-quick] [-seed N] [-parallel N] [-progress] [-vms N] [-list]
 //	            [-telemetry run.jsonl] [-telemetry-csv run.csv]
 //	            [-heartbeat 30s] [-pprof localhost:6060]
 //
+// Experiments live in a registry (sim.Experiments); -list prints it. The
+// -exp selector matches an experiment's canonical name (e.g. objdet-suite,
+// granularity) or one of its aliases: fig5/fig6/fig7 select by figure,
+// ablation selects the whole ablation group, and all runs the default set.
+//
 // -exp multitenant runs the multi-VM sweep (2/4/8 VMs on one shared host,
-// plus a VM-churn scenario); it is not part of "all". -vms narrows the
-// sweep to one VM count.
+// plus a VM-churn scenario); -exp migration the live-migration sweep. Both
+// are opt-in, not part of "all". -vms narrows the multitenant sweep to one
+// VM count.
 //
 // fig5 and fig6 come from the same runs (the objdet suite) and print
 // together. With -quick the reduced test scale is used (seconds instead of
@@ -39,6 +45,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +55,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, table4, sec62, sec64, ablation, multitenant")
+	exp := flag.String("exp", "all", "experiment to run: all, a registry name, or an alias (see -list)")
+	list := flag.Bool("list", false, "list the experiment registry and exit")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
 	seed := flag.Int64("seed", 11, "simulation seed")
 	vms := flag.Int("vms", 0, "multitenant only: run a single VM count (2, 4 or 8; 0 = the full sweep)")
@@ -59,6 +67,27 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "report in-flight progress on stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *list {
+		for _, info := range sim.Experiments() {
+			sel := info.Name
+			if len(info.Tags) > 0 {
+				sel += " (" + strings.Join(info.Tags, ", ") + ")"
+			}
+			scope := "all"
+			if !info.InAll {
+				scope = "opt-in"
+			}
+			fmt.Printf("  %-36s  %-7s  %s\n", sel, scope, info.Title)
+		}
+		return
+	}
+
+	selected, err := sim.MatchExperiments(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v (use -list to see the registry)\n", err)
+		os.Exit(2)
+	}
 
 	sc := sim.DefaultScale()
 	if *quick {
@@ -101,124 +130,33 @@ func main() {
 		}
 	}
 
+	opts := sim.ExperimentOptions{Engine: eng}
+	if *vms > 0 {
+		opts.VMCounts = []int{*vms}
+	}
+
 	failed := false
-	// run executes one experiment. The engine delivers partial results
-	// alongside the error, so a failure prints whatever completed, marks
-	// the process for a non-zero exit, and lets the remaining experiments
-	// proceed.
-	run := func(name string, f func() (fmt.Stringer, error)) {
+	// Each experiment dispatches through the registry. The engine delivers
+	// partial results alongside the error, so a failure prints whatever
+	// completed, marks the process for a non-zero exit, and lets the
+	// remaining experiments proceed.
+	for _, info := range selected {
 		t0 := time.Now()
-		fmt.Printf("==> %s\n", name)
-		r, err := f()
+		fmt.Printf("==> %s\n", info.Title)
+		r, err := sim.RunExperimentOpts(ctx, info.Name, opts, sc, *seed)
 		if r != nil {
 			fmt.Print(r.String())
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", info.Title, err)
 			failed = true
 			fmt.Println()
-			return
+			continue
+		}
+		for _, note := range info.Notes {
+			fmt.Println(note)
 		}
 		fmt.Printf("    (%.1fs)\n\n", time.Since(t0).Seconds())
-	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-
-	if want("table1") {
-		run("Table 1 (§3.3)", func() (fmt.Stringer, error) {
-			r, err := sim.RunTable1Ctx(ctx, eng, sc, *seed)
-			return r, err
-		})
-	}
-	if want("fig5") || want("fig6") {
-		run("Figures 5 and 6 (§6.1, objdet co-runner)", func() (fmt.Stringer, error) {
-			r, err := sim.RunObjdetSuiteCtx(ctx, eng, sc, *seed)
-			if err == nil {
-				fmt.Print(r.String())
-				fmt.Println("  paper: fragmentation drops to ~1 for every benchmark (Fig 5);")
-				fmt.Println("  improvement 4% geomean, 9% max on xz, never negative (Fig 6)")
-				return nil, nil
-			}
-			return r, err
-		})
-	}
-	if want("fig7") {
-		run("Figure 7 (§6.1, combination of co-runners)", func() (fmt.Stringer, error) {
-			r, err := sim.RunCombinationSuiteCtx(ctx, eng, sc, *seed)
-			if err == nil {
-				fmt.Print(r.String())
-				fmt.Println("  paper: 3% geomean, 5% max on mcf — about 1% below the objdet-only scenario")
-				return nil, nil
-			}
-			return r, err
-		})
-	}
-	if want("fig6") {
-		run("Section 6.1: low-TLB-pressure applications", func() (fmt.Stringer, error) {
-			r, err := sim.RunLowPressureCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-	}
-	if want("table4") {
-		run("Table 4 (§6.3)", func() (fmt.Stringer, error) {
-			r, err := sim.RunTable4Ctx(ctx, eng, sc, *seed)
-			return r, err
-		})
-	}
-	if want("sec62") {
-		run("Section 6.2 (reservation waste)", func() (fmt.Stringer, error) {
-			r, err := sim.RunSec62Ctx(ctx, eng, sc, *seed)
-			return r, err
-		})
-	}
-	if want("sec64") {
-		run("Section 6.4 (allocation latency)", func() (fmt.Stringer, error) {
-			r, err := sim.RunSec64Ctx(ctx, eng, sc, *seed)
-			return r, err
-		})
-	}
-	if want("ablation") {
-		run("Ablation: reservation granularity", func() (fmt.Stringer, error) {
-			r, err := sim.RunGranularityCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-		run("Ablation: PaRT locking", func() (fmt.Stringer, error) {
-			return sim.RunLockingAblation(64, 20000), nil
-		})
-		run("Ablation: reclaim watermark", func() (fmt.Stringer, error) {
-			r, err := sim.RunReclaimSweepCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-		run("Extension: five-level paging", func() (fmt.Stringer, error) {
-			r, err := sim.RunFiveLevelComparisonCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-		run("Baseline: transparent huge pages vs PTEMagnet", func() (fmt.Stringer, error) {
-			r, err := sim.RunTHPComparisonCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-		run("Baseline: CA paging vs PTEMagnet", func() (fmt.Stringer, error) {
-			r, err := sim.RunCAPagingComparisonCtx(ctx, eng, sc, *seed)
-			return r, err
-		})
-		run("Ablation: enable threshold", func() (fmt.Stringer, error) {
-			r, err := sim.RunThresholdDemo(sc, *seed)
-			return r, err
-		})
-	}
-
-	// The multi-tenant sweep is opt-in (-exp multitenant), not part of
-	// "all": it measures the cross-VM packing, not a paper table, and
-	// keeping it out of "all" keeps that output stable.
-	if *exp == "multitenant" {
-		run("Multi-tenant host (N VMs, shared host)", func() (fmt.Stringer, error) {
-			var counts []int
-			if *vms > 0 {
-				counts = []int{*vms}
-			}
-			r, err := sim.RunMultiTenantCtx(ctx, eng, sc, *seed, counts)
-			return r, err
-		})
 	}
 
 	if collector != nil {

@@ -71,6 +71,9 @@ type VM struct {
 	guestMemBytes uint64
 	faults        uint64
 	alive         bool
+	// dlog, when non-nil, is the PML-style dirty-page log live migration
+	// uses to track writes between pre-copy rounds.
+	dlog *dirtyLog
 }
 
 // CreateVM registers a VM with the given guest-physical memory size. The
@@ -165,3 +168,160 @@ func (vm *VM) HandleFault(gpa arch.PhysAddr) error {
 // MappedGuestPages returns the number of guest-physical pages with host
 // backing.
 func (vm *VM) MappedGuestPages() uint64 { return vm.pt.MappedPages() }
+
+// Mapped reports whether the guest-physical page containing gpa has host
+// backing.
+func (vm *VM) Mapped(gpa arch.PhysAddr) bool {
+	_, _, ok := vm.pt.Translate(arch.VirtAddr(gpa).PageBase())
+	return ok
+}
+
+// DefaultDirtyLogEntries is the dirty-log capacity when EnableDirtyLogging
+// is given zero: one page-table node's worth of entries, matching the
+// 512-entry in-memory buffer of Intel Page Modification Logging.
+const DefaultDirtyLogEntries = arch.PTEntriesPerNode
+
+// dirtyLog is the PML-style write-tracking state of one VM: a bounded
+// buffer of guest-physical page addresses whose EPT dirty bit transitioned
+// clear→set since the last drain. When the buffer fills, further
+// transitions still set dirty bits but are no longer buffered; the next
+// drain falls back to a full EPT rescan — exactly PML's overflow VM-exit
+// semantics, priced at a table walk instead of a buffer read.
+type dirtyLog struct {
+	capacity int
+	entries  []arch.PhysAddr
+	// overflowed latches "buffer filled since last drain".
+	overflowed bool
+	// logged counts clear→set transitions observed (buffered or not).
+	logged uint64
+	// overflows counts drains that required a full rescan.
+	overflows uint64
+}
+
+// EnableDirtyLogging starts write tracking over the VM's host page table
+// (EPT). capacity bounds the log buffer; zero selects
+// DefaultDirtyLogEntries. Any dirty bits left over from a previous tracking
+// session are cleared so the log starts from a clean slate. Enabling while
+// already enabled resets the log.
+func (vm *VM) EnableDirtyLogging(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultDirtyLogEntries
+	}
+	vm.clearAllDirty()
+	vm.dlog = &dirtyLog{capacity: capacity}
+}
+
+// DisableDirtyLogging stops write tracking and discards the log. Dirty bits
+// already set in the page table are cleared.
+func (vm *VM) DisableDirtyLogging() {
+	vm.dlog = nil
+	vm.clearAllDirty()
+}
+
+func (vm *VM) clearAllDirty() {
+	var dirty []arch.PhysAddr
+	vm.pt.ForEachDirty(func(va arch.VirtAddr) bool {
+		dirty = append(dirty, arch.PhysAddr(va))
+		return true
+	})
+	for _, gpa := range dirty {
+		vm.pt.ClearDirty(arch.VirtAddr(gpa))
+	}
+}
+
+// DirtyLogging reports whether write tracking is enabled. The machine's
+// execution loop checks this before paying for MarkDirty on every write.
+func (vm *VM) DirtyLogging() bool { return vm.dlog != nil }
+
+// DirtyLogged returns the number of clear→set dirty transitions observed
+// since logging was enabled (including transitions dropped on overflow).
+func (vm *VM) DirtyLogged() uint64 {
+	if vm.dlog == nil {
+		return 0
+	}
+	return vm.dlog.logged
+}
+
+// DirtyLogOverflows returns the number of drains that fell back to a full
+// EPT rescan because the buffer had overflowed.
+func (vm *VM) DirtyLogOverflows() uint64 {
+	if vm.dlog == nil {
+		return 0
+	}
+	return vm.dlog.overflows
+}
+
+// MarkDirty records a write to the guest-physical page containing gpa: the
+// EPT leaf entry's dirty bit is set, and on a clear→set transition the page
+// is appended to the dirty log (or, if the buffer is full, the overflow
+// latch is set). A no-op unless dirty logging is enabled and the page has
+// host backing. Like hardware PML, this costs the guest nothing — the page
+// walker writes the log entry on its own.
+func (vm *VM) MarkDirty(gpa arch.PhysAddr) {
+	d := vm.dlog
+	if d == nil {
+		return
+	}
+	if !vm.pt.MarkDirty(arch.VirtAddr(gpa).PageBase()) {
+		return
+	}
+	d.logged++
+	if len(d.entries) < d.capacity {
+		d.entries = append(d.entries, gpa.PageBase())
+		return
+	}
+	d.overflowed = true
+}
+
+// DrainDirtyLog returns the guest-physical pages dirtied since the last
+// drain and resets the log. If the buffer overflowed, the pages come from a
+// full EPT rescan in ascending guest-physical order and rescan is true;
+// otherwise they come from the buffer in first-write order. Either order is
+// deterministic. All reported pages have their dirty bits cleared, so the
+// next write to any of them logs again.
+func (vm *VM) DrainDirtyLog() (pages []arch.PhysAddr, rescan bool) {
+	d := vm.dlog
+	if d == nil {
+		return nil, false
+	}
+	if d.overflowed {
+		vm.pt.ForEachDirty(func(va arch.VirtAddr) bool {
+			pages = append(pages, arch.PhysAddr(va))
+			return true
+		})
+		rescan = true
+		d.overflows++
+	} else {
+		pages = append(pages, d.entries...)
+	}
+	for _, gpa := range pages {
+		vm.pt.ClearDirty(arch.VirtAddr(gpa))
+	}
+	d.entries = d.entries[:0]
+	d.overflowed = false
+	return pages, rescan
+}
+
+// MapMigratedPage gives the guest-physical page containing gpa host backing
+// during a live-migration copy: one frame is allocated through the stock
+// buddy path — the destination host re-allocates the image frame by frame,
+// and whether the guest's PTEs stay contiguous afterwards depends only on
+// the guest-physical layout the guest brings with it (§2: the host PT is
+// indexed by guest-physical addresses). Unlike HandleFault it does not
+// count as an EPT violation. Copying onto an already-backed page (a
+// re-dirtied page shipped again) rewrites contents, not the mapping, so it
+// is a mapping no-op here.
+func (vm *VM) MapMigratedPage(gpa arch.PhysAddr) error {
+	if uint64(gpa) >= vm.guestMemBytes {
+		return fmt.Errorf("hostos: migrated guest-physical address %#x beyond VM memory %d", uint64(gpa), vm.guestMemBytes)
+	}
+	page := arch.VirtAddr(gpa).PageBase()
+	if _, _, ok := vm.pt.Translate(page); ok {
+		return nil
+	}
+	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
+	if !ok {
+		return &OOMError{VM: vm.id, NeedPages: 1}
+	}
+	return vm.pt.Map(page, hpa, pagetable.FlagWritable)
+}

@@ -242,3 +242,148 @@ func TestDestroyVMReturnsFrames(t *testing.T) {
 	// Double-destroy is a no-op.
 	k.DestroyVM(vm)
 }
+
+// faultPages faults in n distinct guest-physical pages starting at page 0.
+func faultPages(t *testing.T, vm *VM, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := vm.HandleFault(arch.PhysAddr(uint64(i) << arch.PageShift)); err != nil {
+			t.Fatalf("fault page %d: %v", i, err)
+		}
+	}
+}
+
+func TestDirtyLogTransitionsOnly(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	faultPages(t, vm, 4)
+	// Writes before logging is enabled are invisible.
+	vm.MarkDirty(arch.PhysAddr(0))
+	vm.EnableDirtyLogging(0)
+	if !vm.DirtyLogging() {
+		t.Fatal("DirtyLogging false after enable")
+	}
+	// Only the clear→set transition logs; repeated writes do not.
+	vm.MarkDirty(arch.PhysAddr(2 << arch.PageShift))
+	vm.MarkDirty(arch.PhysAddr(2<<arch.PageShift + 0x40))
+	vm.MarkDirty(arch.PhysAddr(0))
+	// Writes to pages without host backing are ignored.
+	vm.MarkDirty(arch.PhysAddr(100 << arch.PageShift))
+	pages, rescan := vm.DrainDirtyLog()
+	if rescan {
+		t.Error("unexpected rescan")
+	}
+	want := []arch.PhysAddr{2 << arch.PageShift, 0}
+	if len(pages) != len(want) || pages[0] != want[0] || pages[1] != want[1] {
+		t.Errorf("drain = %#v, want %#v (first-write order)", pages, want)
+	}
+	if vm.DirtyLogged() != 2 {
+		t.Errorf("DirtyLogged = %d, want 2", vm.DirtyLogged())
+	}
+	// Drain cleared the bits: the next write logs again.
+	vm.MarkDirty(arch.PhysAddr(0))
+	pages, _ = vm.DrainDirtyLog()
+	if len(pages) != 1 || pages[0] != 0 {
+		t.Errorf("re-dirty after drain = %#v, want [0]", pages)
+	}
+}
+
+func TestDirtyLogOverflowRescans(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	faultPages(t, vm, 8)
+	vm.EnableDirtyLogging(4)
+	// Dirty 6 pages in descending order: the buffer holds the first 4, the
+	// rest only set EPT dirty bits.
+	for i := 5; i >= 0; i-- {
+		vm.MarkDirty(arch.PhysAddr(uint64(i) << arch.PageShift))
+	}
+	pages, rescan := vm.DrainDirtyLog()
+	if !rescan {
+		t.Fatal("overflowed log drained without rescan")
+	}
+	if vm.DirtyLogOverflows() != 1 {
+		t.Errorf("DirtyLogOverflows = %d, want 1", vm.DirtyLogOverflows())
+	}
+	// The rescan reports every dirty page in ascending guest-physical
+	// order, including the ones the buffer dropped.
+	if len(pages) != 6 {
+		t.Fatalf("rescan found %d pages, want 6", len(pages))
+	}
+	for i, gpa := range pages {
+		if gpa != arch.PhysAddr(uint64(i)<<arch.PageShift) {
+			t.Errorf("pages[%d] = %#x, want %#x", i, uint64(gpa), uint64(i)<<arch.PageShift)
+		}
+	}
+	if vm.DirtyLogged() != 6 {
+		t.Errorf("DirtyLogged = %d, want 6", vm.DirtyLogged())
+	}
+	// The overflow latch reset: a small batch drains from the buffer again.
+	vm.MarkDirty(arch.PhysAddr(7 << arch.PageShift))
+	pages, rescan = vm.DrainDirtyLog()
+	if rescan || len(pages) != 1 {
+		t.Errorf("post-overflow drain = %#v rescan=%v, want 1 page from buffer", pages, rescan)
+	}
+}
+
+func TestDisableDirtyLoggingClearsBits(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	faultPages(t, vm, 2)
+	vm.EnableDirtyLogging(0)
+	vm.MarkDirty(arch.PhysAddr(0))
+	vm.DisableDirtyLogging()
+	if vm.DirtyLogging() {
+		t.Fatal("DirtyLogging true after disable")
+	}
+	// Stale bits must not leak into a new tracking session.
+	vm.EnableDirtyLogging(0)
+	if pages, _ := vm.DrainDirtyLog(); len(pages) != 0 {
+		t.Errorf("fresh session drained stale pages: %#v", pages)
+	}
+}
+
+func TestMapMigratedPage(t *testing.T) {
+	k := NewKernel(16 << 20)
+	vm, _ := k.CreateVM(8 << 20)
+	gpa := arch.PhysAddr(5 << arch.PageShift)
+	if err := vm.MapMigratedPage(gpa + 0x20); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Mapped(gpa) {
+		t.Fatal("page unmapped after MapMigratedPage")
+	}
+	if vm.Faults() != 0 {
+		t.Errorf("migration copy counted as %d EPT violations", vm.Faults())
+	}
+	// Re-copying a shipped page keeps the existing mapping.
+	hpa0, _ := vm.Translate(gpa)
+	if err := vm.MapMigratedPage(gpa); err != nil {
+		t.Fatal(err)
+	}
+	if hpa, _ := vm.Translate(gpa); hpa != hpa0 {
+		t.Errorf("re-copy remapped the page: %#x → %#x", uint64(hpa0), uint64(hpa))
+	}
+	if err := vm.MapMigratedPage(arch.PhysAddr(16 << 20)); err == nil {
+		t.Error("MapMigratedPage beyond guest memory succeeded")
+	}
+	// OOM surfaces the typed error.
+	small := NewKernel(8 * arch.PageSize)
+	sv, err := small.CreateVM(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oomAt arch.PhysAddr
+	for i := uint64(0); i < 8; i++ {
+		if err := sv.MapMigratedPage(arch.PhysAddr(i << arch.PageShift)); err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("OOM not errors.Is(ErrOutOfMemory): %v", err)
+			}
+			oomAt = arch.PhysAddr(i << arch.PageShift)
+			break
+		}
+	}
+	if oomAt == 0 {
+		t.Error("tiny host never ran out of frames")
+	}
+}

@@ -470,3 +470,16 @@ func (w *Walker) InvalidateAll() {
 	w.gpwc.Flush()
 	w.hpwc.Flush()
 }
+
+// Rebind repoints the walker at a new host VM and cache hierarchy — the
+// destination half of a live migration, where the guest keeps its vCPU
+// package (this walker, with its cumulative counters) but every cached
+// translation dies: gVA→hPA and gPA→hPA entries refer to the source host's
+// frames, and the destination re-allocated all of them. Equivalent to
+// InvalidateAll plus the pointer swap; counters are untouched, so the
+// guest's walk totals span its whole life across both hosts.
+func (w *Walker) Rebind(caches *cache.Hierarchy, vm *hostos.VM) {
+	w.InvalidateAll()
+	w.caches = caches
+	w.vm = vm
+}

@@ -1,0 +1,114 @@
+package pagetable
+
+import (
+	"testing"
+
+	"ptemagnet/internal/arch"
+)
+
+func TestMarkDirtyTransitions(t *testing.T) {
+	tbl, _ := newTable(t)
+	va := arch.VirtAddr(0x40000000)
+	if tbl.MarkDirty(va) {
+		t.Error("MarkDirty on unmapped va reported a transition")
+	}
+	if err := tbl.Map(va, 0x5000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.MarkDirty(va + 0x80) {
+		t.Error("first MarkDirty did not report a transition")
+	}
+	if tbl.MarkDirty(va) {
+		t.Error("second MarkDirty reported a transition")
+	}
+	// The dirty bit never leaks into the mapping's Flags.
+	if _, flags, _ := tbl.Translate(va); flags != FlagWritable {
+		t.Errorf("flags after MarkDirty = %v, want FlagWritable", flags)
+	}
+	if !tbl.ClearDirty(va) {
+		t.Error("ClearDirty on dirty page reported clean")
+	}
+	if tbl.ClearDirty(va) {
+		t.Error("ClearDirty on clean page reported dirty")
+	}
+	if !tbl.MarkDirty(va) {
+		t.Error("MarkDirty after ClearDirty did not transition")
+	}
+}
+
+func TestMarkDirtyRefusesLargeMappings(t *testing.T) {
+	tbl, _ := newTable(t)
+	if err := tbl.MapLarge(0, 0x200000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MarkDirty(0x1000) {
+		t.Error("MarkDirty inside a large mapping reported a transition")
+	}
+	var visited int
+	tbl.ForEachDirty(func(arch.VirtAddr) bool { visited++; return true })
+	if visited != 0 {
+		t.Errorf("ForEachDirty visited %d pages under a large mapping", visited)
+	}
+}
+
+func TestForEachDirtyAscending(t *testing.T) {
+	tbl, _ := newTable(t)
+	// Map and dirty pages in a deliberately descending, multi-node order.
+	vas := []arch.VirtAddr{0x7f0000042000, 0x200000, 0x3000, 0x1000}
+	for _, va := range vas {
+		if err := tbl.Map(va, 0x8000, FlagWritable); err != nil {
+			t.Fatal(err)
+		}
+		tbl.MarkDirty(va)
+	}
+	// One mapped-but-clean page must not be visited.
+	if err := tbl.Map(0x2000, 0x9000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	var got []arch.VirtAddr
+	tbl.ForEachDirty(func(va arch.VirtAddr) bool {
+		got = append(got, va)
+		return true
+	})
+	want := []arch.VirtAddr{0x1000, 0x3000, 0x200000, 0x7f0000042000}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachDirty visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachDirty order %v, want ascending %v", got, want)
+		}
+	}
+	// Early stop.
+	var first []arch.VirtAddr
+	tbl.ForEachDirty(func(va arch.VirtAddr) bool {
+		first = append(first, va)
+		return false
+	})
+	if len(first) != 1 || first[0] != want[0] {
+		t.Errorf("early stop visited %v", first)
+	}
+}
+
+func TestRemapClearsDirty(t *testing.T) {
+	tbl, _ := newTable(t)
+	va := arch.VirtAddr(0x6000)
+	if err := tbl.Map(va, 0x5000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	tbl.MarkDirty(va)
+	// Replacing the mapping drops the dirty bit, as on a real remap.
+	if err := tbl.Map(va, 0x7000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.MarkDirty(va) {
+		t.Error("dirty bit survived a remap")
+	}
+	// Unmapping removes the page from the dirty walk entirely.
+	tbl.Unmap(va)
+	var visited int
+	tbl.ForEachDirty(func(arch.VirtAddr) bool { visited++; return true })
+	if visited != 0 {
+		t.Errorf("ForEachDirty visited %d pages after unmap", visited)
+	}
+}

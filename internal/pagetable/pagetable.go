@@ -32,13 +32,15 @@ const (
 
 // pte encodes an entry: bits 12+ hold the target frame address, bit 0 is
 // present, bits 1-2 hold Flags, bit 3 is the page-size bit (a level-2 entry
-// that maps a 2MB page directly, like the x86 PS bit).
+// that maps a 2MB page directly, like the x86 PS bit), and bit 4 is the
+// dirty bit (set by MarkDirty on write accesses, like the x86/EPT D bit).
 type pte uint64
 
 const (
 	ptePresent  pte = 1 << 0
 	pteFlagBase     = 1
 	pteLarge    pte = 1 << 3
+	pteDirty    pte = 1 << 4
 )
 
 func makePTE(pa arch.PhysAddr, flags Flags) pte {
@@ -138,9 +140,10 @@ func (t *Table) allocNode() (arch.PhysAddr, error) {
 }
 
 // Map installs va → pa with flags, creating intermediate nodes on demand.
-// Mapping an already-mapped page replaces the entry in place. Mapping a 4KB
-// page inside a region covered by a large (2MB) mapping is an error; demote
-// the large mapping first.
+// Mapping an already-mapped page replaces the entry in place (the dirty bit
+// of the old entry does not survive the replacement, as on a real remap).
+// Mapping a 4KB page inside a region covered by a large (2MB) mapping is an
+// error; demote the large mapping first.
 func (t *Table) Map(va arch.VirtAddr, pa arch.PhysAddr, flags Flags) error {
 	n := t.nodes[t.root]
 	cur := t.root
@@ -357,6 +360,70 @@ func (t *Table) SetFlags(va arch.VirtAddr, flags Flags) bool {
 		return false
 	}
 	n.entries[idx] = makePTE(n.entries[idx].addr(), flags)
+	return true
+}
+
+// MarkDirty sets the dirty bit on the leaf entry mapping va, as the page
+// walker sets the x86/EPT D bit on a write access. It reports whether the
+// bit transitioned from clear to set — the event a PML-style dirty log
+// records; repeated writes to an already-dirty page report false and cost
+// nothing. Unmapped addresses and 2MB mappings (which this simulator's host
+// page tables never use) report false.
+func (t *Table) MarkDirty(va arch.VirtAddr) bool {
+	n, idx, ok := t.leaf(va)
+	if !ok || !n.entries[idx].present() {
+		return false
+	}
+	if n.entries[idx]&pteDirty != 0 {
+		return false
+	}
+	n.entries[idx] |= pteDirty
+	return true
+}
+
+// ClearDirty clears the dirty bit on the leaf entry mapping va, reporting
+// whether the bit had been set. Draining a dirty log clears the bits it
+// reports so the next write logs again.
+func (t *Table) ClearDirty(va arch.VirtAddr) bool {
+	n, idx, ok := t.leaf(va)
+	if !ok || n.entries[idx]&pteDirty == 0 {
+		return false
+	}
+	n.entries[idx] &^= pteDirty
+	return true
+}
+
+// ForEachDirty visits the page-aligned virtual address of every leaf entry
+// whose dirty bit is set, in ascending virtual-address order — the full-table
+// rescan a hypervisor falls back to when its dirty log overflows. Iteration
+// stops early if fn returns false.
+func (t *Table) ForEachDirty(fn func(va arch.VirtAddr) bool) {
+	t.walkDirtyNode(t.root, t.levels, 0, fn)
+}
+
+func (t *Table) walkDirtyNode(nodePA arch.PhysAddr, level int, prefix uint64, fn func(arch.VirtAddr) bool) bool {
+	n := t.nodes[nodePA]
+	shift := arch.PageShift + (level-1)*arch.PTIndexBits
+	for idx, e := range n.entries {
+		if !e.present() {
+			continue
+		}
+		va := prefix | uint64(idx)<<shift
+		if level == 1 {
+			if e&pteDirty != 0 && !fn(arch.VirtAddr(va)) {
+				return false
+			}
+			continue
+		}
+		if level == 2 && e.large() {
+			// Large mappings never carry the dirty bit (MarkDirty refuses
+			// them), so there is nothing to visit beneath this entry.
+			continue
+		}
+		if !t.walkDirtyNode(e.addr(), level-1, va, fn) {
+			return false
+		}
+	}
 	return true
 }
 

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistryShape pins the registry's contract: unique names,
+// stable "all" membership (the opt-in sweeps stay out), and alias
+// resolution, including the fig6 alias that spans two experiments.
+func TestExperimentRegistryShape(t *testing.T) {
+	infos := Experiments()
+	if len(infos) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, info := range infos {
+		if info.Name == "" || info.Title == "" {
+			t.Errorf("experiment %+v missing name or title", info)
+		}
+		if seen[info.Name] {
+			t.Errorf("duplicate experiment name %q", info.Name)
+		}
+		seen[info.Name] = true
+	}
+	for _, optIn := range []string{"multitenant", "migration"} {
+		if !seen[optIn] {
+			t.Errorf("experiment %q not registered", optIn)
+		}
+	}
+
+	all, err := MatchExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range all {
+		if info.Name == "multitenant" || info.Name == "migration" {
+			t.Errorf("opt-in experiment %q selected by \"all\"", info.Name)
+		}
+		if !info.InAll {
+			t.Errorf("%q selected by \"all\" without InAll", info.Name)
+		}
+	}
+	if len(all) != len(infos)-2 {
+		t.Errorf("\"all\" selected %d of %d experiments, want all but the two opt-ins", len(all), len(infos))
+	}
+
+	fig6, err := MatchExperiments("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6) != 2 || fig6[0].Name != "objdet-suite" || fig6[1].Name != "lowpressure" {
+		t.Errorf("fig6 resolved to %+v, want objdet-suite then lowpressure", fig6)
+	}
+	fig5, err := MatchExperiments("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5) != 1 || fig5[0].Name != "objdet-suite" {
+		t.Errorf("fig5 resolved to %+v, want objdet-suite only", fig5)
+	}
+
+	if _, err := MatchExperiments("no-such-experiment"); err == nil {
+		t.Error("unknown selector matched")
+	}
+}
+
+// TestRunExperimentDispatch runs the fastest registry entry end to end and
+// pins the unknown-name error path.
+func TestRunExperimentDispatch(t *testing.T) {
+	r, err := RunExperiment(context.Background(), "locking", QuickScale(), testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || !strings.Contains(r.String(), "ns/fault") {
+		t.Errorf("locking ablation rendered %q", r)
+	}
+	if _, err := RunExperiment(context.Background(), "no-such-experiment", QuickScale(), testSeed); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}

@@ -78,8 +78,12 @@ func (s GuestStats) Delta(prev GuestStats) GuestStats {
 }
 
 // Snapshot reads the guest's counters at once. Destroyed guests return
-// their frozen final values.
+// their frozen final values; so does the placeholder a migrated guest
+// leaves behind (the live counters travelled with the guest).
 func (g *Guest) Snapshot() GuestStats {
+	if g.migratedOut {
+		return g.frozen
+	}
 	return GuestStats{
 		Accesses:   g.accesses,
 		Walker:     g.walker.Snapshot(),
@@ -135,6 +139,10 @@ type GuestReport struct {
 	VMID  int
 	// Alive is false for guests destroyed mid-run.
 	Alive bool
+	// Migrated is true for the placeholder slot of a guest that was
+	// live-migrated to another machine: its Stats are frozen at departure,
+	// and the adopting machine reports the guest's live counters.
+	Migrated bool
 	// Stats is the guest's counter snapshot.
 	Stats GuestStats
 	// MappedGuestPages counts guest-physical pages with host backing;
@@ -167,11 +175,16 @@ type Report struct {
 
 // guestReport assembles one guest's post-run observation.
 func (g *Guest) guestReport() GuestReport {
+	vmid := g.frozenVMID
+	if g.hostVM != nil {
+		vmid = g.hostVM.ID()
+	}
 	r := GuestReport{
-		Index: g.index,
-		VMID:  g.hostVM.ID(),
-		Alive: g.alive,
-		Stats: g.Snapshot(),
+		Index:    g.index,
+		VMID:     vmid,
+		Alive:    g.alive,
+		Migrated: g.migratedOut,
+		Stats:    g.Snapshot(),
 	}
 	if g.alive {
 		r.MappedGuestPages = g.hostVM.MappedGuestPages()
@@ -216,12 +229,19 @@ func (m *Machine) Observe() Report {
 // prefix, followed by the shared cache.* and buddy.host.* groups. The
 // name set is frozen at the first call — build the registry after any
 // mid-run guest churn (destroyed guests stay registered; their counters
-// freeze).
+// freeze). Migrated-out placeholder slots are skipped entirely: their
+// components left with the guest, and the adopting machine registers them.
+// RegistryBuilt reports whether Registry has been called — i.e. the name
+// set is frozen. Guests can only detach from or attach to machines whose
+// registries are not yet built; the migration engine checks this up front
+// so a migration never half-completes on a frozen machine.
+func (m *Machine) RegistryBuilt() bool { return m.registry != nil }
+
 func (m *Machine) Registry() *obs.Registry {
 	if m.registry == nil {
 		r := obs.NewRegistry()
 		r.Counter("machine.accesses", func() uint64 { return m.totalAccesses })
-		if len(m.guests) == 1 {
+		if len(m.guests) == 1 && !m.guests[0].migratedOut {
 			g := m.guests[0]
 			g.walker.RegisterObs(r, "walker.")
 			g.walker.TLB().RegisterObs(r, "tlb.")
@@ -230,6 +250,9 @@ func (m *Machine) Registry() *obs.Registry {
 			g.kernel.Memory().Buddy().RegisterObs(r, "buddy.guest.")
 		} else {
 			for _, g := range m.guests {
+				if g.migratedOut {
+					continue
+				}
 				p := fmt.Sprintf("vm%d.", g.index)
 				g.walker.RegisterObs(r, p+"walker.")
 				g.walker.TLB().RegisterObs(r, p+"tlb.")

@@ -348,6 +348,12 @@ func (t *Task) counters() taskCounters {
 // Name returns the underlying program name.
 func (t *Task) Name() string { return t.spec.Prog.Name() }
 
+// Role returns the task's scheduling role.
+func (t *Task) Role() Role { return t.spec.Role }
+
+// Done reports whether the task's program has finished.
+func (t *Task) Done() bool { return t.done }
+
 // Process returns the guest process executing the task.
 func (t *Task) Process() *guestos.Process { return t.proc }
 
@@ -448,6 +454,14 @@ type Guest struct {
 	// accesses counts this guest's executed accesses (the machine total is
 	// the sum across guests).
 	accesses uint64
+
+	// migratedOut marks the frozen placeholder a migrated guest leaves in
+	// its source machine's slot: the real Guest moved on (taking kernel,
+	// walker, and tasks with it), and the placeholder reports the frozen
+	// stats below instead of touching the departed components.
+	migratedOut bool
+	frozen      GuestStats
+	frozenVMID  int
 }
 
 // Index returns the guest's position in creation order (0-based, stable
@@ -471,6 +485,13 @@ func (g *Guest) Alive() bool { return g.alive }
 
 // Accesses returns the guest's executed access count.
 func (g *Guest) Accesses() uint64 { return g.accesses }
+
+// Machine returns the machine currently hosting the guest, or nil while the
+// guest is detached mid-migration.
+func (g *Guest) Machine() *Machine { return g.m }
+
+// Config returns the guest's configuration.
+func (g *Guest) Config() GuestConfig { return g.cfg }
 
 // Machine is the assembled platform: the shared host resources (host
 // kernel + physical memory, data-cache hierarchy, cost model) and the N
@@ -497,6 +518,13 @@ type Machine struct {
 	// boundary (the §3.3 measurement start).
 	steadySnapTaken bool
 	statsAtInit     Stats
+
+	// corunnersStopped latches StopCorunnersAtPrimaryInit across
+	// pause/resume boundaries (RunOptions.StopAtAccesses): once co-runners
+	// stop at the primary-init boundary they stay stopped for the machine's
+	// lifetime, so a paused-and-resumed run schedules exactly the quanta an
+	// uninterrupted run would.
+	corunnersStopped bool
 
 	// registry is the named counter view, built lazily by Registry.
 	registry *obs.Registry
@@ -701,6 +729,14 @@ type RunOptions struct {
 	SampleEvery uint64
 	// MaxAccesses aborts a runaway run (safety net). Zero → no limit.
 	MaxAccesses uint64
+	// StopAtAccesses pauses the run once the machine-global access count
+	// reaches this value, checked between scheduler rounds like Events.
+	// The run returns nil with primaries unfinished; a later Run call
+	// resumes from the exact scheduler state, and the combined execution
+	// is access-for-access identical to one uninterrupted run. The live
+	// migration engine interleaves pre-copy rounds with guest execution
+	// through this. Zero disables pausing.
+	StopAtAccesses uint64
 	// Events fire between scheduler rounds, in slice order, once each,
 	// when the machine-global access count reaches AtAccesses — the hook
 	// VM-churn scenarios use to boot and kill guests mid-run. Because
@@ -736,7 +772,6 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 	if countPrimaries(m.tasks) == 0 {
 		return fmt.Errorf("vm: no primary task")
 	}
-	corunnersActive := true
 	var nextSample uint64
 	nextEvent := 0
 	// The round loop walks guests in creation order and, inside each
@@ -747,6 +782,9 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 	for len(m.pendingPrimaries()) > 0 {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("vm: run canceled: %w", err)
+		}
+		if opts.StopAtAccesses > 0 && m.totalAccesses >= opts.StopAtAccesses {
+			return nil
 		}
 		for nextEvent < len(opts.Events) && m.totalAccesses >= opts.Events[nextEvent].AtAccesses {
 			if err := opts.Events[nextEvent].Do(m); err != nil {
@@ -763,7 +801,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 				if t.done {
 					continue
 				}
-				if t.spec.Role == RoleCorunner && !corunnersActive {
+				if t.spec.Role == RoleCorunner && m.corunnersStopped {
 					continue
 				}
 				if err := m.runQuantum(t); err != nil {
@@ -779,7 +817,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 			m.steadySnapTaken = true
 			m.statsAtInit = m.Snapshot()
 			if opts.StopCorunnersAtPrimaryInit {
-				corunnersActive = false
+				m.corunnersStopped = true
 			}
 		}
 		if opts.SampleEvery > 0 && m.totalAccesses >= nextSample {
@@ -797,6 +835,18 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 	}
 	return nil
 }
+
+// TotalAccesses returns the machine-global executed access count — the
+// deterministic clock that run events, pauses, and migration rounds key on.
+func (m *Machine) TotalAccesses() uint64 { return m.totalAccesses }
+
+// PendingPrimaries returns how many primary tasks have not finished. A
+// paused run (RunOptions.StopAtAccesses) left work behind iff this is
+// nonzero.
+func (m *Machine) PendingPrimaries() int { return len(m.pendingPrimaries()) }
+
+// HostConfig returns the machine's resolved host configuration.
+func (m *Machine) HostConfig() HostConfig { return m.cfg }
 
 // pendingPrimaries returns the primary tasks that have not finished.
 func (m *Machine) pendingPrimaries() []*Task {
@@ -887,6 +937,10 @@ func (m *Machine) execBatch(t *Task, accs []workload.Access) error {
 		gpt    = t.proc.PageTable()
 		cpu    = t.cpu
 		seq    = m.totalAccesses
+		hostVM = t.guest.hostVM
+		// dirtyLog is hoisted so the common (non-migrating) case pays one
+		// branch per access, nothing more.
+		dirtyLog = hostVM.DirtyLogging()
 	)
 	var executed, dataC, transC, faultC uint64
 	var served [cache.NumLevels]uint64
@@ -953,6 +1007,14 @@ batchLoop:
 			}
 			faultC += costs.faultCost(kind)
 			fastHit = false
+		}
+		if dirtyLog && acc.Write {
+			// PML-style write tracking: the page walker sets the EPT dirty
+			// bit and logs the guest-physical page on a clear→set
+			// transition. Free in cycles, like the hardware buffer write.
+			if gpa, _, ok := gpt.Translate(acc.VA); ok {
+				hostVM.MarkDirty(gpa)
+			}
 		}
 		if tracer != nil {
 			recs = append(recs, AccessRecord{

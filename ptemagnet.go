@@ -40,6 +40,7 @@ import (
 	"ptemagnet/internal/engine"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
+	"ptemagnet/internal/migrate"
 	"ptemagnet/internal/nested"
 	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
@@ -507,6 +508,81 @@ var (
 	// RunThresholdDemo demonstrates the §4.4 enable threshold.
 	RunThresholdDemo = sim.RunThresholdDemo
 )
+
+// Experiment registry: every experiment above is also registered under a
+// canonical name for uniform, name-driven dispatch (cmd/experiments runs
+// entirely through it). The typed RunXxx functions remain the primary API;
+// the registry is for tools that select experiments at runtime.
+type (
+	// ExperimentInfo describes one registered experiment (name, display
+	// title, selector tags, paper notes).
+	ExperimentInfo = sim.ExperimentInfo
+	// ExperimentResult is the reduced output of one experiment; render it
+	// with String.
+	ExperimentResult = sim.ExperimentResult
+	// ExperimentOptions carries RunExperimentOpts' optional knobs (engine,
+	// multitenant VM counts).
+	ExperimentOptions = sim.ExperimentOptions
+)
+
+// Registry entry points.
+var (
+	// Experiments lists every registered experiment in execution order.
+	Experiments = sim.Experiments
+	// MatchExperiments resolves a selector ("all", a name, or a tag like
+	// "fig6") to the experiments it runs.
+	MatchExperiments = sim.MatchExperiments
+	// RunExperimentOpts runs one experiment by name with explicit options.
+	RunExperimentOpts = sim.RunExperimentOpts
+)
+
+// RunExperiment runs one registered experiment by canonical name with
+// default options.
+func RunExperiment(ctx context.Context, name string, sc Scale, seed int64) (ExperimentResult, error) {
+	return sim.RunExperiment(ctx, name, sc, seed)
+}
+
+// Live migration: move a Guest between Machines with pre-copy semantics
+// over the host's PML-style dirty-page log (DESIGN.md §10).
+type (
+	// MigrateOptions tunes the pre-copy protocol (round length, stop-and-
+	// copy threshold, dirty-log sizing).
+	MigrateOptions = migrate.Options
+	// MigrationReport counts what one migration did: rounds, page traffic,
+	// downtime in access-units.
+	MigrationReport = migrate.Report
+	// MigrateError is the typed failure of a migration; match the
+	// destination-OOM case with errors.Is(err, ErrDestinationOOM).
+	MigrateError = migrate.MigrateError
+	// MigrationScenario configures one run of the migration sweep.
+	MigrationScenario = sim.MigrationScenario
+	// MigrationRunResult is one migration scenario's measurement.
+	MigrationRunResult = sim.MigrationRunResult
+	// MigrationResult covers the -exp migration sweep.
+	MigrationResult = sim.MigrationResult
+)
+
+// ErrDestinationOOM reports that the destination host ran out of physical
+// memory while receiving the guest image; the migration rolled back.
+var ErrDestinationOOM = migrate.ErrDestinationOOM
+
+// Migration entry points.
+var (
+	// MigrateGuestCtx live-migrates a guest onto a destination machine
+	// under a cancellable context — the primary API.
+	MigrateGuestCtx = migrate.MigrateCtx
+	// MigrateGuest is MigrateGuestCtx with a background context.
+	MigrateGuest = migrate.Migrate
+	// RunMigrationScenarioCtx executes one migration scenario end to end.
+	RunMigrationScenarioCtx = sim.RunMigrationScenarioCtx
+	// RunMigrationCtx runs the migration sweep through an engine.
+	RunMigrationCtx = sim.RunMigrationCtx
+)
+
+// RunMigration runs the migration sweep with default settings.
+func RunMigration(sc Scale, seed int64) (MigrationResult, error) {
+	return sim.RunMigrationCtx(context.Background(), nil, sc, seed)
+}
 
 // Tracing: record a machine's event stream to a compact binary format and
 // analyze it offline.
