@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke experiments obs-smoke
+.PHONY: all build vet lint test race bench bench-smoke experiments obs-smoke chaos-smoke
 
 all: build vet lint test
 
@@ -30,7 +30,7 @@ test:
 # guards; the heavy simulation packages elsewhere are race-free by
 # construction (no goroutines) and would only slow this down.
 race:
-	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm ./internal/migrate
+	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm ./internal/migrate ./internal/faults
 
 # The Pipeline* benchmarks track the batched hot path against the legacy
 # one-access adapter at three layers (workload step, walker fast path, full
@@ -79,3 +79,19 @@ obs-smoke:
 	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/obs-mig-parallel.out > $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.out
 	diff $(OBS_SMOKE_DIR)/obs-mig-serial.masked.out $(OBS_SMOKE_DIR)/obs-mig-parallel.masked.out
 	@echo "obs-smoke: telemetry identical for 1 vs 4 workers (table1 + multitenant + migration)"
+
+# Chaos determinism check (DESIGN.md §11): the fault-injection sweep —
+# with a nonzero fault plan, injected host OOMs, retries, and
+# mid-migration faults — must emit byte-identical stdout and RunRecord
+# JSONL (faults.* and retry.* counters included) serial and with 4
+# workers, once elapsed_ms and the wall-clock timing line are masked.
+chaos-smoke:
+	$(GO) run ./cmd/experiments -quick -exp chaos -parallel 1 -telemetry $(OBS_SMOKE_DIR)/chaos-serial.jsonl > $(OBS_SMOKE_DIR)/chaos-serial.out
+	$(GO) run ./cmd/experiments -quick -exp chaos -parallel 4 -telemetry $(OBS_SMOKE_DIR)/chaos-parallel.jsonl > $(OBS_SMOKE_DIR)/chaos-parallel.out
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/chaos-serial.jsonl > $(OBS_SMOKE_DIR)/chaos-serial.masked.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/chaos-parallel.jsonl > $(OBS_SMOKE_DIR)/chaos-parallel.masked.jsonl
+	diff $(OBS_SMOKE_DIR)/chaos-serial.masked.jsonl $(OBS_SMOKE_DIR)/chaos-parallel.masked.jsonl
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/chaos-serial.out > $(OBS_SMOKE_DIR)/chaos-serial.masked.out
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/chaos-parallel.out > $(OBS_SMOKE_DIR)/chaos-parallel.masked.out
+	diff $(OBS_SMOKE_DIR)/chaos-serial.masked.out $(OBS_SMOKE_DIR)/chaos-parallel.masked.out
+	@echo "chaos-smoke: fault-injected sweep identical for 1 vs 4 workers"

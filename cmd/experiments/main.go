@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation|multitenant|migration]
+//	experiments [-exp all|table1|fig5|fig6|fig7|table4|sec62|sec64|ablation|multitenant|migration|chaos]
 //	            [-quick] [-seed N] [-parallel N] [-progress] [-vms N] [-list]
 //	            [-telemetry run.jsonl] [-telemetry-csv run.csv]
 //	            [-heartbeat 30s] [-pprof localhost:6060]
@@ -15,9 +15,11 @@
 // ablation selects the whole ablation group, and all runs the default set.
 //
 // -exp multitenant runs the multi-VM sweep (2/4/8 VMs on one shared host,
-// plus a VM-churn scenario); -exp migration the live-migration sweep. Both
-// are opt-in, not part of "all". -vms narrows the multitenant sweep to one
-// VM count.
+// plus a VM-churn scenario); -exp migration the live-migration sweep; -exp
+// chaos the fault-injection-and-recovery sweep (default vs PTEMagnet under
+// escalating deterministic fault rates, plus mid-migration OOM-and-retry).
+// All three are opt-in, not part of "all". -vms narrows the multitenant
+// sweep to one VM count.
 //
 // fig5 and fig6 come from the same runs (the objdet suite) and print
 // together. With -quick the reduced test scale is used (seconds instead of
@@ -130,9 +132,9 @@ func main() {
 		}
 	}
 
-	opts := sim.ExperimentOptions{Engine: eng}
+	runOpts := []sim.RunOpt{sim.WithEngine(eng), sim.WithScale(sc), sim.WithSeed(*seed)}
 	if *vms > 0 {
-		opts.VMCounts = []int{*vms}
+		runOpts = append(runOpts, sim.WithVMCounts(*vms))
 	}
 
 	failed := false
@@ -143,7 +145,7 @@ func main() {
 	for _, info := range selected {
 		t0 := time.Now()
 		fmt.Printf("==> %s\n", info.Title)
-		r, err := sim.RunExperimentOpts(ctx, info.Name, opts, sc, *seed)
+		r, err := sim.RunExperiment(ctx, info.Name, runOpts...)
 		if r != nil {
 			fmt.Print(r.String())
 		}

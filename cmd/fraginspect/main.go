@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -87,7 +88,7 @@ func main() {
 			}
 		}
 	}
-	if err := m.Run(vm.RunOptions{}); err != nil {
+	if err := m.RunWith(context.Background()); err != nil {
 		fatal(err)
 	}
 

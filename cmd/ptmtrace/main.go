@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +24,6 @@ import (
 	"ptemagnet/internal/obs"
 	"ptemagnet/internal/sim"
 	"ptemagnet/internal/trace"
-	"ptemagnet/internal/vm"
 )
 
 func main() {
@@ -92,7 +92,7 @@ func record(args []string) {
 		fatal(err)
 	}
 	m.SetTracer(collector)
-	if err := m.Run(vm.RunOptions{}); err != nil {
+	if err := m.RunWith(context.Background()); err != nil {
 		fatal(err)
 	}
 	if err := collector.Close(); err != nil {

@@ -51,6 +51,30 @@ type Set[R, O any] struct {
 	// the caller's goroutine. A nil Reduce yields the zero output and
 	// Results.FailedErr.
 	Reduce func(Results[R]) (O, error)
+	// Retry re-runs failing scenarios per its policy. The zero value
+	// retries nothing.
+	Retry RetryPolicy
+}
+
+// RetryPolicy controls per-scenario retries within a set. Retries are
+// deterministic by construction: the attempt index travels in the
+// context (WithAttempt/AttemptFrom), so a scenario that derives its
+// state from (seed, attempt) replays identically for any worker count,
+// and backoff is simulated — a retried scenario re-derives its schedule
+// for the next attempt instead of sleeping wall-clock time.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per scenario; 0 and 1 both
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// Retryable classifies a failed attempt's error; only errors it
+	// accepts are retried (e.g. faults.IsTransient). A nil classifier
+	// retries nothing.
+	Retryable func(error) bool
+}
+
+// allows reports whether a failed attempt (0-based index) may retry.
+func (p RetryPolicy) allows(attempt int, err error) bool {
+	return attempt+1 < p.MaxAttempts && p.Retryable != nil && p.Retryable(err)
 }
 
 // Results holds the per-scenario outcomes of one executed set, keyed by
@@ -121,6 +145,9 @@ type Stats struct {
 	Sets      uint64
 	Scenarios uint64
 	Failures  uint64
+	// Retries counts extra attempts granted by a set's RetryPolicy
+	// (a scenario that succeeds on its third attempt adds two).
+	Retries uint64
 }
 
 // Delta returns the counter-wise difference s - prev.
@@ -129,6 +156,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		Sets:      s.Sets - prev.Sets,
 		Scenarios: s.Scenarios - prev.Scenarios,
 		Failures:  s.Failures - prev.Failures,
+		Retries:   s.Retries - prev.Retries,
 	}
 }
 
@@ -258,8 +286,19 @@ func Execute[R, O any](ctx context.Context, e *Engine, set Set[R, O]) (O, error)
 			defer wg.Done()
 			for i := range jobs {
 				stop := StartTimer()
-				sctx := WithScenarioInfo(ctx, ScenarioInfo{Set: set.Name, Scenario: set.Scenarios[i].Name})
-				errs[i] = runScenario(sctx, set.Scenarios[i], &results[i])
+				info := ScenarioInfo{Set: set.Name, Scenario: set.Scenarios[i].Name}
+				// Retries replay the scenario with the next attempt
+				// index in the context; scenarios keyed on it (fault
+				// plans) see a fresh schedule, so recovery is a pure
+				// function of (seed, attempt) — never of worker count.
+				for attempt := 0; ; attempt++ {
+					sctx := WithScenarioInfo(WithAttempt(ctx, attempt), info)
+					errs[i] = runScenario(sctx, set.Scenarios[i], &results[i])
+					if errs[i] == nil || !set.Retry.allows(attempt, errs[i]) {
+						break
+					}
+					e.bump(func(s *Stats) { s.Retries++ })
+				}
 				e.bump(func(s *Stats) {
 					s.Scenarios++
 					if errs[i] != nil {
@@ -307,7 +346,14 @@ func runScenario[R any](ctx context.Context, s Scenario[R], out *R) (err error) 
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("scenario panicked: %v", p)
+			// Error-valued panics (e.g. the nested walker surfacing a
+			// host fault) wrap with %w so the typed chain — including
+			// injected-fault markers — survives for retry classifiers.
+			if perr, ok := p.(error); ok {
+				err = fmt.Errorf("scenario panicked: %w", perr)
+			} else {
+				err = fmt.Errorf("scenario panicked: %v", p)
+			}
 		}
 	}()
 	*out, err = s.Run(ctx)
@@ -346,6 +392,21 @@ func WithScenarioInfo(ctx context.Context, info ScenarioInfo) context.Context {
 func ScenarioInfoFrom(ctx context.Context) (ScenarioInfo, bool) {
 	info, ok := ctx.Value(scenarioInfoKey{}).(ScenarioInfo)
 	return info, ok
+}
+
+type attemptKey struct{}
+
+// WithAttempt returns a context carrying the retry attempt index
+// (0 = first attempt). Execute attaches it before each attempt.
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFrom returns the retry attempt index attached by Execute
+// (0 when absent, i.e. outside a retrying set).
+func AttemptFrom(ctx context.Context) int {
+	attempt, _ := ctx.Value(attemptKey{}).(int)
+	return attempt
 }
 
 // DeriveSeed maps a base seed and a scenario name to a per-scenario seed

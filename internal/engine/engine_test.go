@@ -191,3 +191,145 @@ func TestWorkerCount(t *testing.T) {
 		t.Errorf("default workerCount = %d", got)
 	}
 }
+
+// retrySet builds a one-scenario set whose run fails with err until the
+// attempt index reaches succeedAt, recording every attempt it sees.
+func retrySet(err error, succeedAt int, attempts *[]int) Set[int, []int] {
+	return Set[int, []int]{
+		Name: "retry",
+		Scenarios: []Scenario[int]{{
+			Name: "s0",
+			Run: func(ctx context.Context) (int, error) {
+				a := AttemptFrom(ctx)
+				*attempts = append(*attempts, a)
+				if a < succeedAt {
+					return 0, err
+				}
+				return 42, nil
+			},
+		}},
+		Reduce: func(res Results[int]) ([]int, error) {
+			var out []int
+			for _, name := range res.Names() {
+				if v, ok := res.Get(name); ok {
+					out = append(out, v)
+				}
+			}
+			return out, res.FailedErr()
+		},
+	}
+}
+
+var errTransientTest = errors.New("transient test failure")
+
+func TestRetryThenSucceed(t *testing.T) {
+	var attempts []int
+	set := retrySet(errTransientTest, 2, &attempts)
+	set.Retry = RetryPolicy{MaxAttempts: 3, Retryable: func(err error) bool { return errors.Is(err, errTransientTest) }}
+	e := New(1)
+	got, err := Execute(context.Background(), e, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{42}) {
+		t.Errorf("got %v, want [42]", got)
+	}
+	if !reflect.DeepEqual(attempts, []int{0, 1, 2}) {
+		t.Errorf("attempts %v, want [0 1 2]", attempts)
+	}
+	if s := e.Snapshot(); s.Retries != 2 {
+		t.Errorf("Stats.Retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestRetryExhaustionKeepsFailure(t *testing.T) {
+	var attempts []int
+	set := retrySet(errTransientTest, 99, &attempts)
+	set.Retry = RetryPolicy{MaxAttempts: 2, Retryable: func(err error) bool { return errors.Is(err, errTransientTest) }}
+	got, err := Execute(context.Background(), New(1), set)
+	if err == nil || !errors.Is(err, errTransientTest) {
+		t.Fatalf("err = %v, want the transient failure", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v, want no results", got)
+	}
+	if !reflect.DeepEqual(attempts, []int{0, 1}) {
+		t.Errorf("attempts %v, want [0 1]", attempts)
+	}
+}
+
+func TestNonRetryableErrorFailsImmediately(t *testing.T) {
+	var attempts []int
+	set := retrySet(errTransientTest, 99, &attempts)
+	set.Retry = RetryPolicy{MaxAttempts: 5, Retryable: func(err error) bool { return false }}
+	if _, err := Execute(context.Background(), New(1), set); err == nil {
+		t.Fatal("want failure")
+	}
+	if !reflect.DeepEqual(attempts, []int{0}) {
+		t.Errorf("attempts %v, want [0]", attempts)
+	}
+}
+
+func TestZeroRetryPolicyRunsOnce(t *testing.T) {
+	var attempts []int
+	if _, err := Execute(context.Background(), New(1), retrySet(errTransientTest, 99, &attempts)); err == nil {
+		t.Fatal("want failure")
+	}
+	if !reflect.DeepEqual(attempts, []int{0}) {
+		t.Errorf("attempts %v, want [0]", attempts)
+	}
+}
+
+func TestAttemptFromDefaultsToZero(t *testing.T) {
+	if a := AttemptFrom(context.Background()); a != 0 {
+		t.Errorf("AttemptFrom = %d, want 0", a)
+	}
+}
+
+// TestErrorPanicIsWrapped pins that a panic carrying an error value stays
+// errors.Is/As-reachable through the engine's recovery, so retry
+// classifiers can see injected faults that surface as walker panics.
+func TestErrorPanicIsWrapped(t *testing.T) {
+	set := Set[int, []int]{
+		Name: "panics",
+		Scenarios: []Scenario[int]{{
+			Name: "s0",
+			Run:  func(context.Context) (int, error) { panic(fmt.Errorf("boom: %w", errTransientTest)) },
+		}},
+		Reduce: func(res Results[int]) ([]int, error) { return nil, res.FailedErr() },
+	}
+	_, err := Execute(context.Background(), New(1), set)
+	if !errors.Is(err, errTransientTest) {
+		t.Errorf("panic error not reachable: %v", err)
+	}
+}
+
+// TestRetryClearsErrorPanic pins the chaos recovery contract end to end at
+// the engine layer: an error-valued panic on attempt 0 is retried when the
+// policy classifies it, and attempt 1 succeeds.
+func TestRetryClearsErrorPanic(t *testing.T) {
+	set := Set[int, []int]{
+		Name: "panics",
+		Scenarios: []Scenario[int]{{
+			Name: "s0",
+			Run: func(ctx context.Context) (int, error) {
+				if AttemptFrom(ctx) == 0 {
+					panic(fmt.Errorf("boom: %w", errTransientTest))
+				}
+				return 7, nil
+			},
+		}},
+		Retry: RetryPolicy{MaxAttempts: 2, Retryable: func(err error) bool { return errors.Is(err, errTransientTest) }},
+		Reduce: func(res Results[int]) ([]int, error) {
+			v, _ := res.Get("s0")
+			return []int{v}, res.FailedErr()
+		},
+	}
+	got, err := Execute(context.Background(), New(1), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("got %v, want [7]", got)
+	}
+}

@@ -30,15 +30,42 @@ type OOMError struct {
 	VM int
 	// NeedPages is the size of the failed allocation in pages.
 	NeedPages uint64
+	// Err is the underlying cause when the exhaustion was not organic: an
+	// injected fault (faults.ErrInjected) or a page-table node allocation
+	// failure (pagetable.ErrNoMemory). Nil for a plain out-of-frames OOM.
+	Err error
 }
 
 // Error describes the exhaustion.
 func (e *OOMError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s)): %v", e.VM, e.NeedPages, e.Err)
+	}
 	return fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s))", e.VM, e.NeedPages)
 }
 
 // Is reports sentinel equivalence with ErrOutOfMemory.
 func (e *OOMError) Is(target error) bool { return target == ErrOutOfMemory }
+
+// Unwrap exposes the cause, keeping wrapped markers (e.g.
+// faults.ErrInjected) errors.Is-reachable through the OOM layer.
+func (e *OOMError) Unwrap() error { return e.Err }
+
+// OOMInjector injects host-level allocation failures for deterministic
+// fault testing (faults.Plan implements it). InjectHostOOM is consulted
+// once per fault-time frame allocation; a non-nil return fails the
+// allocation with that cause wrapped in an *OOMError.
+type OOMInjector interface {
+	InjectHostOOM() error
+}
+
+// DirtyLogInjector forces dirty-log overflows for deterministic fault
+// testing (faults.Plan implements it). ForceDirtyLogOverflow is consulted
+// once per logged clear→set transition; returning true drops the entry
+// and latches the overflow flag, as if the buffer had filled.
+type DirtyLogInjector interface {
+	ForceDirtyLogOverflow() bool
+}
 
 // Kernel is the host kernel, owner of host-physical memory.
 type Kernel struct {
@@ -48,7 +75,14 @@ type Kernel struct {
 	// one host's lifetime (frame attribution of a destroyed VM can never
 	// be confused with a later tenant's).
 	nextID int
+	// oomInject, when non-nil, is consulted before each fault-time frame
+	// allocation (fault injection; nil on the production path).
+	oomInject OOMInjector
 }
+
+// SetOOMInjector installs h (nil removes it); every subsequent
+// HandleFault consults it before allocating.
+func (k *Kernel) SetOOMInjector(h OOMInjector) { k.oomInject = h }
 
 // NewKernel boots a host kernel managing memBytes of host-physical memory.
 func NewKernel(memBytes uint64) *Kernel {
@@ -74,7 +108,14 @@ type VM struct {
 	// dlog, when non-nil, is the PML-style dirty-page log live migration
 	// uses to track writes between pre-copy rounds.
 	dlog *dirtyLog
+	// dlogInject, when non-nil, can force dirty-log overflows (fault
+	// injection; nil on the production path).
+	dlogInject DirtyLogInjector
 }
+
+// SetDirtyLogInjector installs h (nil removes it); every subsequent
+// logged dirty transition consults it.
+func (vm *VM) SetDirtyLogInjector(h DirtyLogInjector) { vm.dlogInject = h }
 
 // CreateVM registers a VM with the given guest-physical memory size. The
 // guest-physical space [0, guestMemBytes) is the VM process's eagerly
@@ -157,12 +198,25 @@ func (vm *VM) HandleFault(gpa arch.PhysAddr) error {
 	if _, _, ok := vm.pt.Translate(page); ok {
 		return nil
 	}
+	if vm.kernel.oomInject != nil {
+		if cause := vm.kernel.oomInject.InjectHostOOM(); cause != nil {
+			return &OOMError{VM: vm.id, NeedPages: 1, Err: cause}
+		}
+	}
 	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
 	if !ok {
 		return &OOMError{VM: vm.id, NeedPages: 1}
 	}
 	vm.faults++
-	return vm.pt.Map(page, hpa, pagetable.FlagWritable)
+	if err := vm.pt.Map(page, hpa, pagetable.FlagWritable); err != nil {
+		// Node-allocation exhaustion is host OOM too: wrap it so callers
+		// see one taxonomy root instead of a bare pagetable error.
+		if errors.Is(err, pagetable.ErrNoMemory) {
+			return &OOMError{VM: vm.id, NeedPages: 1, Err: err}
+		}
+		return err
+	}
+	return nil
 }
 
 // MappedGuestPages returns the number of guest-physical pages with host
@@ -266,6 +320,10 @@ func (vm *VM) MarkDirty(gpa arch.PhysAddr) {
 		return
 	}
 	d.logged++
+	if vm.dlogInject != nil && vm.dlogInject.ForceDirtyLogOverflow() {
+		d.overflowed = true
+		return
+	}
 	if len(d.entries) < d.capacity {
 		d.entries = append(d.entries, gpa.PageBase())
 		return
@@ -323,5 +381,11 @@ func (vm *VM) MapMigratedPage(gpa arch.PhysAddr) error {
 	if !ok {
 		return &OOMError{VM: vm.id, NeedPages: 1}
 	}
-	return vm.pt.Map(page, hpa, pagetable.FlagWritable)
+	if err := vm.pt.Map(page, hpa, pagetable.FlagWritable); err != nil {
+		if errors.Is(err, pagetable.ErrNoMemory) {
+			return &OOMError{VM: vm.id, NeedPages: 1, Err: err}
+		}
+		return err
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package hostos
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"ptemagnet/internal/arch"
@@ -385,5 +386,31 @@ func TestMapMigratedPage(t *testing.T) {
 	}
 	if oomAt == 0 {
 		t.Error("tiny host never ran out of frames")
+	}
+}
+
+// TestOOMErrorWrapsCause pins the error-chain contract: an OOMError
+// carrying a cause exposes it through Unwrap, so errors.Is reaches both
+// the OOMError sentinel behaviour and the wrapped cause.
+func TestOOMErrorWrapsCause(t *testing.T) {
+	cause := errors.New("injected cause")
+	err := &OOMError{VM: 3, NeedPages: 1, Err: cause}
+	if !errors.Is(err, cause) {
+		t.Error("cause not reachable through Unwrap")
+	}
+	if !strings.Contains(err.Error(), "injected cause") {
+		t.Errorf("cause missing from message %q", err.Error())
+	}
+	var oom *OOMError
+	if !errors.As(error(err), &oom) || oom.VM != 3 {
+		t.Error("errors.As lost the OOMError")
+	}
+
+	organic := &OOMError{VM: 1, NeedPages: 2}
+	if organic.Unwrap() != nil {
+		t.Error("organic OOMError unwraps non-nil")
+	}
+	if errors.Is(organic, cause) {
+		t.Error("organic OOMError matched an unrelated cause")
 	}
 }

@@ -101,6 +101,20 @@ type Options struct {
 	// number and the drained page count. Tests use it to cancel
 	// mid-round.
 	OnRound func(round, dirtyPages int)
+	// Faults, if non-nil, injects deterministic migration failures
+	// (faults.Plan implements it); nil on the production path.
+	Faults FaultInjector
+}
+
+// FaultInjector injects migration-phase faults for deterministic fault
+// testing. Both methods are consulted once per pre-copy round, right
+// after the round's dirty-log drain: a non-nil DestOOM return fails the
+// round as a destination allocation failure (the error surfaces wrapped
+// in an *hostos.OOMError, so it matches ErrDestinationOOM), and a
+// non-nil CancelAtRound return aborts the migration with that cause.
+type FaultInjector interface {
+	DestOOM(round int) error
+	CancelAtRound(round int) error
 }
 
 func (o Options) withDefaults() Options {
@@ -256,7 +270,7 @@ func MigrateCtx(ctx context.Context, src *vm.Guest, dst *vm.Machine, opts Option
 		}
 		if srcM.PendingPrimaries() > 0 {
 			before := srcM.TotalAccesses()
-			if err := srcM.RunContext(ctx, vm.RunOptions{StopAtAccesses: before + opts.RoundAccesses}); err != nil {
+			if err := srcM.RunWith(ctx, vm.WithStopAtAccesses(before+opts.RoundAccesses)); err != nil {
 				abort()
 				return fail("precopy", round, err)
 			}
@@ -269,6 +283,19 @@ func MigrateCtx(ctx context.Context, src *vm.Guest, dst *vm.Machine, opts Option
 		rep.Rounds = round
 		if opts.OnRound != nil {
 			opts.OnRound(round, len(dirty))
+		}
+		if opts.Faults != nil {
+			// Injected destination OOM wears the same OOMError the organic
+			// path produces, so ErrDestinationOOM (and, through Unwrap,
+			// the injected-fault root) match identically either way.
+			if cause := opts.Faults.DestOOM(round); cause != nil {
+				abort()
+				return fail("precopy", round, &hostos.OOMError{VM: dstVM.ID(), NeedPages: 1, Err: cause})
+			}
+			if cause := opts.Faults.CancelAtRound(round); cause != nil {
+				abort()
+				return fail("precopy", round, cause)
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			abort()

@@ -431,7 +431,11 @@ func (w *Walker) translateGPA(cpu int, gpa arch.PhysAddr) (arch.PhysAddr, uint64
 			panic("nested: host fault loop — host memory exhausted")
 		}
 		if err := w.vm.HandleFault(gpa); err != nil {
-			panic("nested: host fault failed: " + err.Error())
+			// Panic with the error value, not its string: the engine's
+			// recover re-wraps error panics with %w, so the typed chain
+			// (hostos.OOMError, injected-fault markers) stays reachable
+			// for errors.Is classification above the walker.
+			panic(fmt.Errorf("nested: host fault failed: %w", err))
 		}
 		w.stats.HostFaults++
 		cycles += w.cfg.HostFaultCycles

@@ -13,12 +13,19 @@
 package pagetable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/physmem"
 )
+
+// ErrNoMemory reports physical-memory exhaustion while allocating a
+// page-table node. Map/MapLarge/Demote failures wrap it, so callers
+// classify node-allocation OOM with errors.Is instead of string
+// matching.
+var ErrNoMemory = errors.New("pagetable: out of physical memory for node")
 
 // Flags carries the per-mapping permission bits the simulation needs.
 type Flags uint8
@@ -133,7 +140,7 @@ func (t *Table) MappedPages() uint64 { return t.mapped }
 func (t *Table) allocNode() (arch.PhysAddr, error) {
 	pa, ok := t.mem.AllocFrame(physmem.KindPageTable, t.owner)
 	if !ok {
-		return arch.NoPhysAddr, fmt.Errorf("pagetable: out of physical memory for node (owner %v)", t.owner)
+		return arch.NoPhysAddr, fmt.Errorf("%w (owner %v)", ErrNoMemory, t.owner)
 	}
 	t.nodes[pa] = &node{}
 	return pa, nil

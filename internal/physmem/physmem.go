@@ -83,6 +83,7 @@ type Memory struct {
 	alloc *buddy.Allocator
 	kind  []FrameKind
 	owner []Owner
+	hook  buddy.AllocHook
 }
 
 // New creates a memory of the given size in bytes, which must be a positive
@@ -122,9 +123,28 @@ func (m *Memory) UsedFrames() uint64 { return m.alloc.UsedFrames() }
 // shape, stats). Callers must not allocate or free through it directly.
 func (m *Memory) Buddy() *buddy.Allocator { return m.alloc }
 
+// SetAllocHook installs a fault-injection hook (nil removes it). The
+// hook is consulted for data allocations only — KindUser and
+// KindReserved, the kinds with a recovery path above them
+// (reclaim-retry, reservation fallback) — never for page-table or kernel
+// frames, whose allocation failure has no graceful handler and would
+// turn a transient injected fault into a fatal one.
+func (m *Memory) SetAllocHook(h buddy.AllocHook) { m.hook = h }
+
+// vetoed consults the fault hook for one allocation.
+func (m *Memory) vetoed(kind FrameKind, order int) bool {
+	if m.hook == nil || (kind != KindUser && kind != KindReserved) {
+		return false
+	}
+	return m.hook.FailAlloc(order)
+}
+
 // AllocFrame allocates one frame of the given kind for the given owner and
 // returns its physical address. ok is false when memory is exhausted.
 func (m *Memory) AllocFrame(kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
+	if m.vetoed(kind, 0) {
+		return arch.NoPhysAddr, false
+	}
 	frame, ok := m.alloc.AllocPage()
 	if !ok {
 		return arch.NoPhysAddr, false
@@ -137,6 +157,9 @@ func (m *Memory) AllocFrame(kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
 // of the given kind and owner, returning the address of its first frame.
 // PTEMagnet's reservation path uses order 3 (eight pages).
 func (m *Memory) AllocOrder(order int, kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
+	if m.vetoed(kind, order) {
+		return arch.NoPhysAddr, false
+	}
 	frame, ok := m.alloc.AllocOrder(order)
 	if !ok {
 		return arch.NoPhysAddr, false
@@ -172,6 +195,9 @@ func (m *Memory) AllocGroup(pages int, kind FrameKind, owner Owner) (arch.PhysAd
 	order := 0
 	for 1<<order < pages {
 		order++
+	}
+	if m.vetoed(kind, order) {
+		return arch.NoPhysAddr, false
 	}
 	frame, ok := m.alloc.AllocOrder(order)
 	if !ok {

@@ -158,7 +158,7 @@ func RunMigrationScenarioCtx(ctx context.Context, s MigrationScenario) (Migratio
 		return MigrationRunResult{}, err
 	}
 	pauseAt := s.Scale.Accesses / 4
-	if err := src.RunContext(ctx, vm.RunOptions{StopAtAccesses: pauseAt}); err != nil {
+	if err := src.RunWith(ctx, vm.WithStopAtAccesses(pauseAt)); err != nil {
 		return MigrationRunResult{}, err
 	}
 	if src.PendingPrimaries() == 0 {
@@ -175,7 +175,7 @@ func RunMigrationScenarioCtx(ctx context.Context, s MigrationScenario) (Migratio
 	}
 	res.Migration = rep
 	adopted := g.Snapshot()
-	if err := dst.RunContext(ctx, vm.RunOptions{}); err != nil {
+	if err := dst.RunWith(ctx); err != nil {
 		return MigrationRunResult{}, err
 	}
 	final := g.Snapshot()

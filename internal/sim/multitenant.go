@@ -201,11 +201,11 @@ func RunMultiCtx(ctx context.Context, s MultiScenario) (MultiResult, error) {
 			sampleEvery = 1024
 		}
 	}
-	opts := vm.RunOptions{SampleEvery: sampleEvery}
+	opts := []vm.RunOpt{vm.WithSampleEvery(sampleEvery)}
 	if s.Churn {
-		opts.Events = churnEvents(s)
+		opts = append(opts, vm.WithEvents(churnEvents(s)...))
 	}
-	if err := m.RunContext(ctx, opts); err != nil {
+	if err := m.RunWith(ctx, opts...); err != nil {
 		return MultiResult{}, err
 	}
 	report := m.Observe()

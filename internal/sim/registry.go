@@ -12,6 +12,8 @@ import (
 	"fmt"
 
 	"ptemagnet/internal/engine"
+	"ptemagnet/internal/faults"
+	"ptemagnet/internal/obs"
 )
 
 // ExperimentResult is the reduced output of one experiment — every typed
@@ -39,6 +41,9 @@ type ExperimentInfo struct {
 }
 
 // ExperimentOptions carries the optional knobs of RunExperimentOpts.
+//
+// Deprecated: use RunExperiment's functional options (WithEngine,
+// WithVMCounts) instead.
 type ExperimentOptions struct {
 	// Engine runs the experiment's scenarios (nil = default settings).
 	Engine *engine.Engine
@@ -47,16 +52,84 @@ type ExperimentOptions struct {
 	VMCounts []int
 }
 
+// DefaultSeed is the seed RunExperiment uses when WithSeed is absent —
+// the same default cmd/experiments ships, so programmatic and CLI runs
+// of an experiment agree by default.
+const DefaultSeed int64 = 11
+
+// runParams is the assembled form of RunExperiment's options.
+type runParams struct {
+	scale     Scale
+	seed      int64
+	eng       *engine.Engine
+	vmCounts  []int
+	faults    faults.Config
+	retry     engine.RetryPolicy
+	collector *obs.Collector
+}
+
+func defaultRunParams() runParams {
+	return runParams{scale: DefaultScale(), seed: DefaultSeed}
+}
+
+// RunOpt configures RunExperiment — the same functional-options idiom as
+// machine runs (vm.RunOpt), so experiment and machine configuration read
+// alike.
+type RunOpt func(*runParams)
+
+// WithScale selects the sweep sizing (default DefaultScale()).
+func WithScale(sc Scale) RunOpt {
+	return func(p *runParams) { p.scale = sc }
+}
+
+// WithSeed sets the base simulation seed (default DefaultSeed).
+func WithSeed(seed int64) RunOpt {
+	return func(p *runParams) { p.seed = seed }
+}
+
+// WithEngine runs the experiment's scenarios through e (nil = default
+// settings: a fresh engine with GOMAXPROCS workers).
+func WithEngine(e *engine.Engine) RunOpt {
+	return func(p *runParams) { p.eng = e }
+}
+
+// WithVMCounts narrows the multitenant sweep to the given VM counts
+// (none = the full sweep); ignored by every other experiment.
+func WithVMCounts(counts ...int) RunOpt {
+	return func(p *runParams) { p.vmCounts = append(p.vmCounts, counts...) }
+}
+
+// WithFaultPlan sets the fault campaign for fault-aware experiments: the
+// chaos sweep replaces its built-in escalation ladder with cfg (its
+// migration scenarios keep their own schedules). Ignored by experiments
+// that do not inject faults. A zero cfg is ignored.
+func WithFaultPlan(cfg faults.Config) RunOpt {
+	return func(p *runParams) { p.faults = cfg }
+}
+
+// WithRetry sets the per-scenario retry policy for fault-aware
+// experiments (default for chaos: 3 attempts, faults.IsTransient).
+// Ignored by experiments that do not retry.
+func WithRetry(policy engine.RetryPolicy) RunOpt {
+	return func(p *runParams) { p.retry = policy }
+}
+
+// WithCollector attaches c to the run context (obs.WithCollector), so
+// every executed scenario emits a RunRecord into it.
+func WithCollector(c *obs.Collector) RunOpt {
+	return func(p *runParams) { p.collector = c }
+}
+
 // experiment binds an ExperimentInfo to its adapted entry point.
 type experiment struct {
 	info ExperimentInfo
-	run  func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error)
+	run  func(ctx context.Context, p runParams) (ExperimentResult, error)
 }
 
 // engineRun adapts the common RunXxxCtx shape to the registry signature.
-func engineRun[T ExperimentResult](f func(context.Context, *engine.Engine, Scale, int64) (T, error)) func(context.Context, ExperimentOptions, Scale, int64) (ExperimentResult, error) {
-	return func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
-		r, err := f(ctx, opts.Engine, sc, seed)
+func engineRun[T ExperimentResult](f func(context.Context, *engine.Engine, Scale, int64) (T, error)) func(context.Context, runParams) (ExperimentResult, error) {
+	return func(ctx context.Context, p runParams) (ExperimentResult, error) {
+		r, err := f(ctx, p.eng, p.scale, p.seed)
 		return r, err
 	}
 }
@@ -121,7 +194,7 @@ var experiments = []experiment{
 	},
 	{
 		info: ExperimentInfo{Name: "locking", Title: "Ablation: PaRT locking", Tags: []string{"ablation"}, InAll: true},
-		run: func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
+		run: func(ctx context.Context, p runParams) (ExperimentResult, error) {
 			// The locking ablation is a real-concurrency microbenchmark
 			// with its own fixed sizing; scale and seed do not apply.
 			return RunLockingAblation(64, 20000), nil
@@ -145,22 +218,29 @@ var experiments = []experiment{
 	},
 	{
 		info: ExperimentInfo{Name: "threshold", Title: "Ablation: enable threshold", Tags: []string{"ablation"}, InAll: true},
-		run: func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
-			r, err := RunThresholdDemo(sc, seed)
+		run: func(ctx context.Context, p runParams) (ExperimentResult, error) {
+			r, err := RunThresholdDemo(p.scale, p.seed)
 			return r, err
 		},
 	},
 	{
 		info: ExperimentInfo{Name: "multitenant", Title: "Multi-tenant host (N VMs, shared host)"},
-		run: func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
-			r, err := RunMultiTenantCtx(ctx, opts.Engine, sc, seed, opts.VMCounts)
+		run: func(ctx context.Context, p runParams) (ExperimentResult, error) {
+			r, err := RunMultiTenantCtx(ctx, p.eng, p.scale, p.seed, p.vmCounts)
 			return r, err
 		},
 	},
 	{
 		info: ExperimentInfo{Name: "migration", Title: "Live migration (dirty-page log, pre-copy)"},
-		run: func(ctx context.Context, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
-			r, err := RunMigrationCtx(ctx, opts.Engine, sc, seed)
+		run: func(ctx context.Context, p runParams) (ExperimentResult, error) {
+			r, err := RunMigrationCtx(ctx, p.eng, p.scale, p.seed)
+			return r, err
+		},
+	},
+	{
+		info: ExperimentInfo{Name: "chaos", Title: "Chaos: fault injection & recovery (default vs PTEMagnet)"},
+		run: func(ctx context.Context, p runParams) (ExperimentResult, error) {
+			r, err := RunChaosCtx(ctx, p.eng, p.scale, p.seed, p.faults, p.retry)
 			return r, err
 		},
 	},
@@ -206,20 +286,33 @@ func matchExperiment(info ExperimentInfo, sel string) bool {
 	return false
 }
 
-// RunExperiment runs one experiment by canonical name with default
-// options. Even on error the returned result may be non-nil, carrying the
-// partial output the engine completed before failing.
-func RunExperiment(ctx context.Context, name string, sc Scale, seed int64) (ExperimentResult, error) {
-	return RunExperimentOpts(ctx, name, ExperimentOptions{}, sc, seed)
-}
-
-// RunExperimentOpts is RunExperiment with an explicit engine and the
-// per-experiment knobs.
-func RunExperimentOpts(ctx context.Context, name string, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
+// RunExperiment runs one experiment by canonical name, configured by
+// functional options (scale, seed, engine, fault plan, retry policy,
+// collector); omitted options take the documented defaults. Even on error
+// the returned result may be non-nil, carrying the partial output the
+// engine completed before failing.
+func RunExperiment(ctx context.Context, name string, opts ...RunOpt) (ExperimentResult, error) {
+	p := defaultRunParams()
+	for _, o := range opts {
+		if o != nil {
+			o(&p)
+		}
+	}
+	if p.collector != nil {
+		ctx = obs.WithCollector(ctx, p.collector)
+	}
 	for _, e := range experiments {
 		if e.info.Name == name {
-			return e.run(ctx, opts, sc, seed)
+			return e.run(ctx, p)
 		}
 	}
 	return nil, fmt.Errorf("sim: unknown experiment %q", name)
+}
+
+// RunExperimentOpts is the pre-options positional entry point.
+//
+// Deprecated: use RunExperiment with WithEngine, WithVMCounts, WithScale
+// and WithSeed options.
+func RunExperimentOpts(ctx context.Context, name string, opts ExperimentOptions, sc Scale, seed int64) (ExperimentResult, error) {
+	return RunExperiment(ctx, name, WithEngine(opts.Engine), WithVMCounts(opts.VMCounts...), WithScale(sc), WithSeed(seed))
 }

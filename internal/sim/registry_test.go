@@ -24,7 +24,7 @@ func TestExperimentRegistryShape(t *testing.T) {
 		}
 		seen[info.Name] = true
 	}
-	for _, optIn := range []string{"multitenant", "migration"} {
+	for _, optIn := range []string{"multitenant", "migration", "chaos"} {
 		if !seen[optIn] {
 			t.Errorf("experiment %q not registered", optIn)
 		}
@@ -35,15 +35,15 @@ func TestExperimentRegistryShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, info := range all {
-		if info.Name == "multitenant" || info.Name == "migration" {
+		if info.Name == "multitenant" || info.Name == "migration" || info.Name == "chaos" {
 			t.Errorf("opt-in experiment %q selected by \"all\"", info.Name)
 		}
 		if !info.InAll {
 			t.Errorf("%q selected by \"all\" without InAll", info.Name)
 		}
 	}
-	if len(all) != len(infos)-2 {
-		t.Errorf("\"all\" selected %d of %d experiments, want all but the two opt-ins", len(all), len(infos))
+	if len(all) != len(infos)-3 {
+		t.Errorf("\"all\" selected %d of %d experiments, want all but the three opt-ins", len(all), len(infos))
 	}
 
 	fig6, err := MatchExperiments("fig6")
@@ -69,14 +69,14 @@ func TestExperimentRegistryShape(t *testing.T) {
 // TestRunExperimentDispatch runs the fastest registry entry end to end and
 // pins the unknown-name error path.
 func TestRunExperimentDispatch(t *testing.T) {
-	r, err := RunExperiment(context.Background(), "locking", QuickScale(), testSeed)
+	r, err := RunExperiment(context.Background(), "locking", WithScale(QuickScale()), WithSeed(testSeed))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r == nil || !strings.Contains(r.String(), "ns/fault") {
 		t.Errorf("locking ablation rendered %q", r)
 	}
-	if _, err := RunExperiment(context.Background(), "no-such-experiment", QuickScale(), testSeed); err == nil {
+	if _, err := RunExperiment(context.Background(), "no-such-experiment", WithScale(QuickScale()), WithSeed(testSeed)); err == nil {
 		t.Error("unknown experiment ran")
 	}
 }

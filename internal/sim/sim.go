@@ -279,10 +279,9 @@ func RunCtx(ctx context.Context, s Scenario) (Result, error) {
 			sampleEvery = 1024
 		}
 	}
-	if err := m.RunContext(ctx, vm.RunOptions{
-		StopCorunnersAtPrimaryInit: s.StopCorunnersAtInit,
-		SampleEvery:                sampleEvery,
-	}); err != nil {
+	if err := m.RunWith(ctx,
+		vm.WithStopCorunnersAtInit(s.StopCorunnersAtInit),
+		vm.WithSampleEvery(sampleEvery)); err != nil {
 		return Result{}, err
 	}
 	report := m.Observe()

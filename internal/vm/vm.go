@@ -20,6 +20,7 @@ import (
 	"ptemagnet/internal/arch"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
+	"ptemagnet/internal/faults"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/hostos"
 	"ptemagnet/internal/metrics"
@@ -519,6 +520,10 @@ type Machine struct {
 	steadySnapTaken bool
 	statsAtInit     Stats
 
+	// faultPlan, when non-nil, is the armed fault-injection plan; new
+	// guests booted mid-run inherit its hooks.
+	faultPlan *faults.Plan
+
 	// corunnersStopped latches StopCorunnersAtPrimaryInit across
 	// pause/resume boundaries (RunOptions.StopAtAccesses): once co-runners
 	// stop at the primary-init boundary they stay stopped for the machine's
@@ -631,8 +636,41 @@ func (m *Machine) AddGuest(gc GuestConfig) (*Guest, error) {
 	if err := gc.validate(m.cfg.HostMemBytes, "Guests[new]."); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
 	}
-	return m.addGuest(gc)
+	g, err := m.addGuest(gc)
+	if err != nil {
+		return nil, err
+	}
+	if m.faultPlan != nil {
+		g.kernel.Memory().SetAllocHook(m.faultPlan)
+		g.hostVM.SetDirtyLogInjector(m.faultPlan)
+	}
+	return g, nil
 }
+
+// InstallFaultPlan arms a deterministic fault-injection plan on the
+// machine's choke points: every guest's buddy allocator, the host
+// kernel's fault-time frame allocation, and every guest VM's dirty log.
+// Install before running; guests booted later (churn) inherit the hooks.
+// A nil plan is a no-op, leaving every hook unset so the zero-plan hot
+// path is unchanged. One plan serves one machine — sharing a plan across
+// machines interleaves their schedules.
+func (m *Machine) InstallFaultPlan(p *faults.Plan) {
+	if p == nil {
+		return
+	}
+	m.faultPlan = p
+	m.host.SetOOMInjector(p)
+	for _, g := range m.guests {
+		if !g.alive || g.migratedOut {
+			continue
+		}
+		g.kernel.Memory().SetAllocHook(p)
+		g.hostVM.SetDirtyLogInjector(p)
+	}
+}
+
+// FaultPlan returns the installed fault plan (nil when none is armed).
+func (m *Machine) FaultPlan() *faults.Plan { return m.faultPlan }
 
 // DestroyGuest tears a guest down mid-lifetime — the "VM dies" half of a
 // churn scenario. Its tasks stop, its walker state is flushed (the cached
@@ -718,7 +756,62 @@ func (g *Guest) AddTask(prog workload.Program, role Role) (*Task, error) {
 // Tasks returns all scheduled tasks across every guest, in creation order.
 func (m *Machine) Tasks() []*Task { return m.tasks }
 
+// runConfig is the assembled form of the run options.
+type runConfig struct {
+	stopCorunnersAtPrimaryInit bool
+	sampleEvery                uint64
+	maxAccesses                uint64
+	stopAtAccesses             uint64
+	events                     []RunEvent
+}
+
+// RunOpt configures one machine run (RunWith) — the options vocabulary
+// machine runs share with experiment runs (sim.RunOpt).
+type RunOpt func(*runConfig)
+
+// WithStopCorunnersAtInit kills co-runner tasks the moment every primary
+// finishes initialization — the §3.3 Table 1 methodology (fragmentation
+// is left behind; LLC contention is removed).
+func WithStopCorunnersAtInit(stop bool) RunOpt {
+	return func(c *runConfig) { c.stopCorunnersAtPrimaryInit = stop }
+}
+
+// WithSampleEvery samples the unused-reserved-pages gauge (§6.2) every n
+// total accesses. Zero disables sampling.
+func WithSampleEvery(n uint64) RunOpt {
+	return func(c *runConfig) { c.sampleEvery = n }
+}
+
+// WithMaxAccesses aborts a runaway run (safety net). Zero → no limit.
+func WithMaxAccesses(n uint64) RunOpt {
+	return func(c *runConfig) { c.maxAccesses = n }
+}
+
+// WithStopAtAccesses pauses the run once the machine-global access count
+// reaches n, checked between scheduler rounds like events. The run
+// returns nil with primaries unfinished; a later run resumes from the
+// exact scheduler state, and the combined execution is access-for-access
+// identical to one uninterrupted run. The live migration engine
+// interleaves pre-copy rounds with guest execution through this. Zero
+// disables pausing.
+func WithStopAtAccesses(n uint64) RunOpt {
+	return func(c *runConfig) { c.stopAtAccesses = n }
+}
+
+// WithEvents appends mid-run actions that fire between scheduler rounds,
+// in the given order, once each, when the machine-global access count
+// reaches AtAccesses — the hook VM-churn scenarios use to boot and kill
+// guests mid-run. Because events are keyed to the deterministic access
+// count and run on the scheduler goroutine, a churn run is as
+// reproducible as a static one.
+func WithEvents(events ...RunEvent) RunOpt {
+	return func(c *runConfig) { c.events = append(c.events, events...) }
+}
+
 // RunOptions control a Run.
+//
+// Deprecated: use RunWith with the RunOpt options (WithStopCorunnersAtInit,
+// WithSampleEvery, WithMaxAccesses, WithStopAtAccesses, WithEvents).
 type RunOptions struct {
 	// StopCorunnersAtPrimaryInit kills co-runner tasks the moment every
 	// primary finishes initialization — the §3.3 Table 1 methodology
@@ -755,20 +848,47 @@ type RunEvent struct {
 	Do func(*Machine) error
 }
 
-// Run interleaves all tasks until every primary finishes. Co-runners are
-// stopped at the end (or at the primary-init boundary per options). It
-// returns an error only for simulation bugs (workload accessing unmapped
-// regions, guest OOM).
+// RunWith interleaves all tasks until every primary finishes, configured
+// by options. Co-runners are stopped at the end (or at the primary-init
+// boundary per WithStopCorunnersAtInit). The scheduler polls ctx between
+// rounds (one quantum of every task), so a canceled run stops within a
+// handful of accesses and returns the context's error — this is the
+// cancellation point for every workload inner loop. Other errors indicate
+// simulation bugs (workload accessing unmapped regions, guest OOM) or
+// injected faults.
+func (m *Machine) RunWith(ctx context.Context, opts ...RunOpt) error {
+	var cfg runConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return m.runWith(ctx, cfg)
+}
+
+// Run interleaves all tasks until every primary finishes.
+//
+// Deprecated: use RunWith.
 func (m *Machine) Run(opts RunOptions) error {
 	return m.RunContext(context.Background(), opts)
 }
 
-// RunContext is Run with cancellation: the scheduler polls ctx between
-// rounds (one quantum of every task), so a canceled run stops within a
-// handful of accesses and returns the context's error. This is the
-// cancellation point for every workload inner loop — workloads only
-// execute inside scheduler rounds.
+// RunContext is Run with cancellation.
+//
+// Deprecated: use RunWith.
 func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
+	return m.runWith(ctx, runConfig{
+		stopCorunnersAtPrimaryInit: opts.StopCorunnersAtPrimaryInit,
+		sampleEvery:                opts.SampleEvery,
+		maxAccesses:                opts.MaxAccesses,
+		stopAtAccesses:             opts.StopAtAccesses,
+		events:                     opts.Events,
+	})
+}
+
+// runWith is the scheduler loop behind RunWith and the deprecated
+// RunOptions entry points.
+func (m *Machine) runWith(ctx context.Context, opts runConfig) error {
 	if countPrimaries(m.tasks) == 0 {
 		return fmt.Errorf("vm: no primary task")
 	}
@@ -783,11 +903,11 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("vm: run canceled: %w", err)
 		}
-		if opts.StopAtAccesses > 0 && m.totalAccesses >= opts.StopAtAccesses {
+		if opts.stopAtAccesses > 0 && m.totalAccesses >= opts.stopAtAccesses {
 			return nil
 		}
-		for nextEvent < len(opts.Events) && m.totalAccesses >= opts.Events[nextEvent].AtAccesses {
-			if err := opts.Events[nextEvent].Do(m); err != nil {
+		for nextEvent < len(opts.events) && m.totalAccesses >= opts.events[nextEvent].AtAccesses {
+			if err := opts.events[nextEvent].Do(m); err != nil {
 				return fmt.Errorf("vm: run event %d: %w", nextEvent, err)
 			}
 			nextEvent++
@@ -816,19 +936,19 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) error {
 		if !m.steadySnapTaken && m.primariesInitDone() {
 			m.steadySnapTaken = true
 			m.statsAtInit = m.Snapshot()
-			if opts.StopCorunnersAtPrimaryInit {
+			if opts.stopCorunnersAtPrimaryInit {
 				m.corunnersStopped = true
 			}
 		}
-		if opts.SampleEvery > 0 && m.totalAccesses >= nextSample {
+		if opts.sampleEvery > 0 && m.totalAccesses >= nextSample {
 			m.unusedSeries.Record(m.totalAccesses, int64(m.unusedReservedPages()))
-			nextSample = m.totalAccesses + opts.SampleEvery
+			nextSample = m.totalAccesses + opts.sampleEvery
 		}
-		if opts.MaxAccesses > 0 && m.totalAccesses >= opts.MaxAccesses {
-			return fmt.Errorf("vm: exceeded access budget %d", opts.MaxAccesses)
+		if opts.maxAccesses > 0 && m.totalAccesses >= opts.maxAccesses {
+			return fmt.Errorf("vm: exceeded access budget %d", opts.maxAccesses)
 		}
 	}
-	if opts.SampleEvery > 0 {
+	if opts.sampleEvery > 0 {
 		// Always close the series with the final state, so short runs
 		// still report their peak.
 		m.unusedSeries.Record(m.totalAccesses, int64(m.unusedReservedPages()))

@@ -38,6 +38,7 @@ import (
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
 	"ptemagnet/internal/engine"
+	"ptemagnet/internal/faults"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/migrate"
@@ -158,7 +159,13 @@ type (
 	// MachineConfig sizes the platform.
 	MachineConfig = vm.Config
 	// RunOptions controls a Machine.Run.
+	//
+	// Deprecated: use Machine.RunWith with MachineRunOpt options.
 	RunOptions = vm.RunOptions
+	// MachineRunOpt configures a Machine.RunWith (functional options:
+	// WithEvents, WithSampleEvery, WithStopAtAccesses, WithMaxAccesses,
+	// WithStopCorunnersAtInit).
+	MachineRunOpt = vm.RunOpt
 	// Task is one scheduled workload.
 	Task = vm.Task
 	// TaskReport is the per-benchmark measurement.
@@ -196,6 +203,24 @@ type (
 // PerAccessTracer adapts a per-event AccessTracer to the batched Tracer
 // interface a Machine expects.
 func PerAccessTracer(t AccessTracer) Tracer { return vm.PerAccess(t) }
+
+// Machine run options (Machine.RunWith).
+var (
+	// WithEvents schedules mid-run actions (VM churn hooks); repeated
+	// uses append.
+	WithEvents = vm.WithEvents
+	// WithSampleEvery sets the fragmentation sampling interval in
+	// accesses (0 = end-of-run only).
+	WithSampleEvery = vm.WithSampleEvery
+	// WithMaxAccesses caps each primary's access budget.
+	WithMaxAccesses = vm.WithMaxAccesses
+	// WithStopAtAccesses pauses the run once every primary has executed
+	// the given access count (resume with another RunWith).
+	WithStopAtAccesses = vm.WithStopAtAccesses
+	// WithStopCorunnersAtInit stops co-runners once primaries finish
+	// their init phase.
+	WithStopCorunnersAtInit = vm.WithStopCorunnersAtInit
+)
 
 // Task roles.
 const (
@@ -522,7 +547,14 @@ type (
 	ExperimentResult = sim.ExperimentResult
 	// ExperimentOptions carries RunExperimentOpts' optional knobs (engine,
 	// multitenant VM counts).
+	//
+	// Deprecated: use RunExperiment's functional options (WithEngine,
+	// WithVMCounts).
 	ExperimentOptions = sim.ExperimentOptions
+	// ExperimentRunOpt configures a RunExperiment call (functional
+	// options: WithScale, WithSeed, WithEngine, WithVMCounts,
+	// WithFaultPlan, WithRetry, WithCollector).
+	ExperimentRunOpt = sim.RunOpt
 )
 
 // Registry entry points.
@@ -533,13 +565,42 @@ var (
 	// "fig6") to the experiments it runs.
 	MatchExperiments = sim.MatchExperiments
 	// RunExperimentOpts runs one experiment by name with explicit options.
+	//
+	// Deprecated: use RunExperiment with functional options.
 	RunExperimentOpts = sim.RunExperimentOpts
 )
 
-// RunExperiment runs one registered experiment by canonical name with
-// default options.
-func RunExperiment(ctx context.Context, name string, sc Scale, seed int64) (ExperimentResult, error) {
-	return sim.RunExperiment(ctx, name, sc, seed)
+// Experiment run options (RunExperiment).
+var (
+	// WithScale selects the sweep sizing (default DefaultScale()).
+	WithScale = sim.WithScale
+	// WithSeed sets the base simulation seed (default DefaultSeed).
+	WithSeed = sim.WithSeed
+	// WithEngine runs the experiment through a configured Engine.
+	WithEngine = sim.WithEngine
+	// WithVMCounts narrows the multitenant sweep.
+	WithVMCounts = sim.WithVMCounts
+	// WithFaultPlan sets the fault campaign for fault-aware experiments
+	// (the chaos sweep).
+	WithFaultPlan = sim.WithFaultPlan
+	// WithRetry sets the per-scenario retry policy for fault-aware
+	// experiments.
+	WithRetry = sim.WithRetry
+	// WithCollector attaches a RunCollector to the run, capturing one
+	// RunRecord per executed scenario.
+	WithCollector = sim.WithCollector
+)
+
+// DefaultExperimentSeed is the seed RunExperiment uses when WithSeed is
+// absent (the cmd/experiments default).
+const DefaultExperimentSeed = sim.DefaultSeed
+
+// RunExperiment runs one registered experiment by canonical name,
+// configured by functional options; omitted options take the documented
+// defaults. Even on error the returned result may be non-nil, carrying
+// the partial output the engine completed before failing.
+func RunExperiment(ctx context.Context, name string, opts ...ExperimentRunOpt) (ExperimentResult, error) {
+	return sim.RunExperiment(ctx, name, opts...)
 }
 
 // Live migration: move a Guest between Machines with pre-copy semantics
@@ -582,6 +643,54 @@ var (
 // RunMigration runs the migration sweep with default settings.
 func RunMigration(sc Scale, seed int64) (MigrationResult, error) {
 	return sim.RunMigrationCtx(context.Background(), nil, sc, seed)
+}
+
+// Deterministic fault injection & recovery (DESIGN.md §11): seed-derived
+// fault plans armed on a Machine's allocation, host-fault, dirty-log and
+// migration choke points, with per-scenario retry in the engine.
+type (
+	// FaultConfig declares a deterministic fault campaign (what to
+	// inject, how often, and for how many attempts).
+	FaultConfig = faults.Config
+	// FaultPlan is one attempt's materialized injection schedule; arm it
+	// with Machine.InstallFaultPlan or MigrateOptions.Faults.
+	FaultPlan = faults.Plan
+	// FaultSite identifies where a fault was injected.
+	FaultSite = faults.Site
+	// FaultError is the typed injected failure; errors.Is(err,
+	// ErrFaultInjected) matches any injected fault.
+	FaultError = faults.Error
+	// RetryPolicy is the engine's per-scenario retry contract (max
+	// attempts plus a retryable-error classifier).
+	RetryPolicy = engine.RetryPolicy
+	// ChaosRunResult is one chaos scenario's outcome.
+	ChaosRunResult = sim.ChaosRunResult
+	// ChaosResult covers the -exp chaos sweep.
+	ChaosResult = sim.ChaosResult
+)
+
+// ErrFaultInjected is the sentinel wrapped by every injected fault.
+var ErrFaultInjected = faults.ErrInjected
+
+// Fault-injection entry points.
+var (
+	// NewFaultPlan materializes the attempt's schedule from a campaign.
+	NewFaultPlan = faults.NewPlan
+	// IsFaultInjected reports whether err stems from an injected fault.
+	IsFaultInjected = faults.IsInjected
+	// IsFaultTransient reports whether err is a transient injected fault
+	// (the chaos sweep's default retry classifier).
+	IsFaultTransient = faults.IsTransient
+	// DefaultChaosRetry is the chaos sweep's default retry policy.
+	DefaultChaosRetry = sim.DefaultChaosRetry
+	// RunChaosCtx runs the chaos sweep through an engine.
+	RunChaosCtx = sim.RunChaosCtx
+)
+
+// RunChaos runs the chaos sweep with default settings (built-in fault
+// ladder, default retry policy).
+func RunChaos(sc Scale, seed int64) (ChaosResult, error) {
+	return sim.RunChaosCtx(context.Background(), nil, sc, seed, FaultConfig{}, RetryPolicy{})
 }
 
 // Tracing: record a machine's event stream to a compact binary format and
