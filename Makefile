@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke experiments obs-smoke chaos-smoke
+.PHONY: all build vet lint test race bench bench-smoke experiments obs-smoke chaos-smoke overcommit-smoke
 
 all: build vet lint test
 
@@ -30,7 +30,7 @@ test:
 # guards; the heavy simulation packages elsewhere are race-free by
 # construction (no goroutines) and would only slow this down.
 race:
-	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm ./internal/migrate ./internal/faults
+	$(GO) test -race ./internal/engine ./internal/sim ./internal/vm ./internal/migrate ./internal/faults ./internal/balloon
 
 # The Pipeline* benchmarks track the batched hot path against the legacy
 # one-access adapter at three layers (workload step, walker fast path, full
@@ -95,3 +95,20 @@ chaos-smoke:
 	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/chaos-parallel.out > $(OBS_SMOKE_DIR)/chaos-parallel.masked.out
 	diff $(OBS_SMOKE_DIR)/chaos-serial.masked.out $(OBS_SMOKE_DIR)/chaos-parallel.masked.out
 	@echo "chaos-smoke: fault-injected sweep identical for 1 vs 4 workers"
+
+# Overcommit determinism check (DESIGN.md §12): the ballooned sweep —
+# watermark sampling, victim selection, reservation-breaking reclaim and
+# swap-out under 1.25×–2× oversubscription — must emit byte-identical
+# stdout and RunRecord JSONL (balloon.* counters included) serial and
+# with 4 workers, once elapsed_ms and the wall-clock timing line are
+# masked.
+overcommit-smoke:
+	$(GO) run ./cmd/experiments -quick -exp overcommit -parallel 1 -telemetry $(OBS_SMOKE_DIR)/oc-serial.jsonl > $(OBS_SMOKE_DIR)/oc-serial.out
+	$(GO) run ./cmd/experiments -quick -exp overcommit -parallel 4 -telemetry $(OBS_SMOKE_DIR)/oc-parallel.jsonl > $(OBS_SMOKE_DIR)/oc-parallel.out
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/oc-serial.jsonl > $(OBS_SMOKE_DIR)/oc-serial.masked.jsonl
+	sed -E 's/"elapsed_ms":[0-9]+/"elapsed_ms":0/' $(OBS_SMOKE_DIR)/oc-parallel.jsonl > $(OBS_SMOKE_DIR)/oc-parallel.masked.jsonl
+	diff $(OBS_SMOKE_DIR)/oc-serial.masked.jsonl $(OBS_SMOKE_DIR)/oc-parallel.masked.jsonl
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/oc-serial.out > $(OBS_SMOKE_DIR)/oc-serial.masked.out
+	sed -E 's/^    \([0-9.]+s\)$$/    (time)/' $(OBS_SMOKE_DIR)/oc-parallel.out > $(OBS_SMOKE_DIR)/oc-parallel.masked.out
+	diff $(OBS_SMOKE_DIR)/oc-serial.masked.out $(OBS_SMOKE_DIR)/oc-parallel.masked.out
+	@echo "overcommit-smoke: ballooned sweep identical for 1 vs 4 workers"

@@ -29,11 +29,13 @@ import (
 	"strings"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/balloon"
 	"ptemagnet/internal/buddy"
 	"ptemagnet/internal/guestos"
 	"ptemagnet/internal/metrics"
 	"ptemagnet/internal/obs"
 	"ptemagnet/internal/pagetable"
+	"ptemagnet/internal/physmem"
 	"ptemagnet/internal/sim"
 	"ptemagnet/internal/vm"
 )
@@ -45,10 +47,14 @@ func main() {
 	seed := flag.Int64("seed", 11, "simulation seed")
 	quick := flag.Bool("quick", true, "use the reduced quick scale")
 	vms := flag.Int("vms", 1, "number of VMs: 1 = same-guest colocation; N>1 puts the primary in vm0 and each co-runner in its own pressure VM")
+	overcommit := flag.Int("overcommit", 0, "overcommit ratio in percent (e.g. 150): shrink the host so combined guest memory is this fraction of it and arm the balloon controller; 0 = off (requires -vms > 1)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text dump")
 	flag.Parse()
 	if *vms < 1 {
 		fatal(fmt.Errorf("-vms must be >= 1, got %d", *vms))
+	}
+	if *overcommit != 0 && (*overcommit < 100 || *vms < 2) {
+		fatal(fmt.Errorf("-overcommit needs a ratio >= 100 and -vms > 1, got %d%% with %d VM(s)", *overcommit, *vms))
 	}
 
 	sc := sim.DefaultScale()
@@ -60,7 +66,7 @@ func main() {
 		pol = guestos.PolicyPTEMagnet
 	}
 
-	m, err := buildMachine(sc, pol, *seed, *vms)
+	m, err := buildMachine(sc, pol, *seed, *vms, *overcommit)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,8 +114,11 @@ func main() {
 
 // buildMachine assembles either the legacy single-VM colocation machine or
 // an n-VM host: the primary's guest (vm0) gets the chosen policy, pressure
-// guests run the default allocator, each with its own kernel seed.
-func buildMachine(sc sim.Scale, pol guestos.AllocPolicy, seed int64, n int) (*vm.Machine, error) {
+// guests run the default allocator, each with its own kernel seed. A
+// nonzero overcommit ratio (percent) shrinks the host so the guests'
+// combined memory oversubscribes it and arms the balloon controller,
+// making ballooned-out frames appear in the layout dump.
+func buildMachine(sc sim.Scale, pol guestos.AllocPolicy, seed int64, n, overcommitPct int) (*vm.Machine, error) {
 	if n == 1 {
 		cfg := vm.DefaultConfig()
 		cfg.HostMemBytes = sc.HostMemBytes
@@ -120,13 +129,33 @@ func buildMachine(sc sim.Scale, pol guestos.AllocPolicy, seed int64, n int) (*vm
 		return vm.New(cfg)
 	}
 	hc := vm.HostConfig{HostMemBytes: sc.HostMemBytes, Quantum: 2}
+	guestMem := func(int) uint64 { return sc.GuestMemBytes }
+	if overcommitPct > 0 {
+		// Size guests by role (1.5× their footprint), the overcommit
+		// sweep's sizing, so the declared ratio reflects what the
+		// workloads actually touch and ballooning genuinely engages.
+		guestMem = func(i int) uint64 {
+			bytes := sc.CorunnerFootprint * 3 / 2
+			if i == 0 {
+				bytes = sc.DatasetBytes * 3 / 2
+			}
+			return (bytes + arch.PageSize - 1) / arch.PageSize * arch.PageSize
+		}
+		var combined uint64
+		for i := 0; i < n; i++ {
+			combined += guestMem(i)
+		}
+		hostMem := combined * 100 / uint64(overcommitPct)
+		hc.HostMemBytes = (hostMem + arch.PageSize - 1) / arch.PageSize * arch.PageSize
+		hc.Balloon = balloon.Config{Enabled: true}
+	}
 	for i := 0; i < n; i++ {
 		gp := guestos.PolicyDefault
 		if i == 0 {
 			gp = pol
 		}
 		hc.Guests = append(hc.Guests, vm.GuestConfig{
-			MemBytes: sc.GuestMemBytes,
+			MemBytes: guestMem(i),
 			Policy:   gp,
 			Seed:     seed + int64(i)*10,
 		})
@@ -162,6 +191,9 @@ type jsonBuddy struct {
 	TotalFrames       uint64   `json:"total_frames"`
 	LargestFreeOrder  int      `json:"largest_free_order"`
 	FreeBlocksByOrder []uint64 `json:"free_blocks_by_order"`
+	// BalloonFrames counts guest frames ballooned out to the host (their
+	// host backing is dropped); only present on balloon-armed runs.
+	BalloonFrames uint64 `json:"balloon_frames,omitempty"`
 }
 
 func buddyJSON(b *buddy.Allocator) jsonBuddy {
@@ -194,6 +226,7 @@ func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
 		})
 	}
 	out.Buddy = buddyJSON(m.Guest().Memory().Buddy())
+	out.Buddy.BalloonFrames = m.Guest().BalloonPages()
 	if gs := m.Guests(); len(gs) > 1 {
 		for _, g := range gs {
 			if !g.Alive() {
@@ -201,6 +234,7 @@ func dumpJSON(m *vm.Machine, pol guestos.AllocPolicy, rep vm.Report) {
 			}
 			jb := buddyJSON(g.Kernel().Memory().Buddy())
 			jb.VM = g.Index()
+			jb.BalloonFrames = g.Kernel().BalloonPages()
 			out.VMBuddies = append(out.VMBuddies, jb)
 		}
 	}
@@ -274,20 +308,20 @@ func dumpProcess(m *vm.Machine, task *vm.Task) {
 
 func dumpBuddies(m *vm.Machine, rep vm.Report) {
 	if len(m.Guests()) == 1 {
-		dumpBuddy("guest", m.Guest().Memory().Buddy(), rep.Whole.GuestBuddy)
+		dumpBuddy("guest", m.Guest().Memory().Buddy(), rep.Whole.GuestBuddy, m.Guest())
 		return
 	}
 	for _, g := range m.Guests() {
 		if !g.Alive() {
 			continue
 		}
-		dumpBuddy(fmt.Sprintf("vm%d guest", g.Index()), g.Kernel().Memory().Buddy(), g.Snapshot().GuestBuddy)
+		dumpBuddy(fmt.Sprintf("vm%d guest", g.Index()), g.Kernel().Memory().Buddy(), g.Snapshot().GuestBuddy, g.Kernel())
 	}
 }
 
-func dumpBuddy(label string, b *buddy.Allocator, s buddy.Stats) {
-	fmt.Printf("\n%s buddy allocator: %d/%d frames free, largest free order %d\n",
-		label, b.FreeFrames(), b.NumFrames(), b.LargestFreeOrder())
+func dumpBuddy(label string, b *buddy.Allocator, s buddy.Stats, k *guestos.Kernel) {
+	fmt.Printf("\n%s buddy allocator: %d/%d frames free in %d extents, largest free order %d\n",
+		label, b.FreeFrames(), b.NumFrames(), b.FreeExtents(), b.LargestFreeOrder())
 	counts := b.FreeBlocksByOrder()
 	fmt.Printf("  free blocks by order: ")
 	for o, c := range counts {
@@ -297,6 +331,12 @@ func dumpBuddy(label string, b *buddy.Allocator, s buddy.Stats) {
 	}
 	fmt.Println()
 	fmt.Printf("  splits %d  merges %d  failures %d\n", s.Splits, s.Merges, s.Failures)
+	// Balloon-armed runs only: frames this guest surrendered to the host,
+	// cross-checked against the physmem kind tags.
+	if pages := k.BalloonPages(); pages > 0 {
+		fmt.Printf("  ballooned out: %d frames (target %d, %d tagged balloon in guest physmem)\n",
+			pages, k.BalloonTarget(), k.Memory().CountKind(physmem.KindBalloon))
+	}
 }
 
 func fatal(err error) {

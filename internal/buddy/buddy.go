@@ -324,6 +324,19 @@ func (a *Allocator) FreeBlocksByOrder() [MaxOrder + 1]uint64 {
 	return counts
 }
 
+// FreeExtents returns how many maximal free blocks the allocator tracks
+// across all orders. Together with FreeFrames it gives a coalescing
+// measure: FreeFrames/FreeExtents is the mean free extent, which recovers
+// toward larger powers of two as ballooned-out frames merge back into the
+// free lists.
+func (a *Allocator) FreeExtents() uint64 {
+	var n uint64
+	for _, c := range a.FreeBlocksByOrder() {
+		n += c
+	}
+	return n
+}
+
 // LargestFreeOrder returns the largest order with a non-empty free list, or
 // -1 if the allocator is exhausted.
 func (a *Allocator) LargestFreeOrder() int {

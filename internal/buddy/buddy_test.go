@@ -456,3 +456,46 @@ func TestAllocAtAfterRegularAllocations(t *testing.T) {
 		t.Error("AllocAt failed after the block was freed")
 	}
 }
+
+// TestFreeExtentsTracksCoalescing pins the coalescing measure the
+// overcommit tooling reads: scattered single-page frees fragment the
+// free lists into many extents, and freeing their neighbours merges the
+// extents back.
+func TestFreeExtentsTracksCoalescing(t *testing.T) {
+	a := New(128)
+	initial := a.FreeExtents()
+	if initial == 0 {
+		t.Fatal("fresh allocator reports zero free extents")
+	}
+	var frames []uint64
+	for i := 0; i < 32; i++ {
+		f, ok := a.AllocPage()
+		if !ok {
+			t.Fatal("allocation failed")
+		}
+		frames = append(frames, f)
+	}
+	// Free every other page: no two are buddies, so each free adds an
+	// extent.
+	for i := 0; i < len(frames); i += 2 {
+		a.Free(frames[i])
+	}
+	scattered := a.FreeExtents()
+	if scattered <= initial {
+		t.Errorf("scattered frees left %d extents, want more than %d", scattered, initial)
+	}
+	// Freeing the partners coalesces pairs (and beyond) back together.
+	for i := 1; i < len(frames); i += 2 {
+		a.Free(frames[i])
+	}
+	if got := a.FreeExtents(); got != initial {
+		t.Errorf("full free leaves %d extents, want the initial %d", got, initial)
+	}
+	var sum uint64
+	for _, c := range a.FreeBlocksByOrder() {
+		sum += c
+	}
+	if got := a.FreeExtents(); got != sum {
+		t.Errorf("FreeExtents = %d, FreeBlocksByOrder sums to %d", got, sum)
+	}
+}

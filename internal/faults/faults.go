@@ -230,6 +230,11 @@ type Plan struct {
 	dirtySeq uint64
 
 	injected [numSites]uint64
+	// absorbedHostOOMs counts injected host OOMs the host absorbed in-run
+	// through its pressure reliever (balloon relief + retry) instead of
+	// failing the attempt — the degradation outcome, distinct from
+	// recovery by engine retry.
+	absorbedHostOOMs uint64
 }
 
 // NewPlan materializes cfg for one retry attempt (0 = first run).
@@ -347,6 +352,25 @@ func (p *Plan) CancelAtRound(round int) error {
 	return &Error{Site: SiteMigrateCancel, Seq: uint64(round), Transient: true}
 }
 
+// NoteAbsorbedHostOOM records that an injected host OOM was absorbed
+// in-run by the host's pressure reliever. hostos discovers the method by
+// type assertion, so the OOMInjector interface stays unchanged.
+func (p *Plan) NoteAbsorbedHostOOM() {
+	if p == nil {
+		return
+	}
+	p.absorbedHostOOMs++
+}
+
+// AbsorbedHostOOMs returns the number of injected host OOMs absorbed by
+// pressure relief.
+func (p *Plan) AbsorbedHostOOMs() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.absorbedHostOOMs
+}
+
 // RegisterObs registers the plan's injection counters on r under prefix
 // (conventionally "faults."). Registered only by fault-aware runs —
 // zero-plan telemetry keeps its pre-injection schema.
@@ -360,6 +384,7 @@ func (p *Plan) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"injected_total", p.InjectedTotal)
 	r.Counter(prefix+"buddy_failures_injected", func() uint64 { return p.Injected(SiteBuddyAlloc) })
 	r.Counter(prefix+"host_ooms_injected", func() uint64 { return p.Injected(SiteHostOOM) })
+	r.Counter(prefix+"host_ooms_absorbed", p.AbsorbedHostOOMs)
 	r.Counter(prefix+"dirtylog_overflows_forced", func() uint64 { return p.Injected(SiteDirtyLog) })
 	r.Counter(prefix+"migrate_dest_ooms_injected", func() uint64 { return p.Injected(SiteMigrateDestOOM) })
 	r.Counter(prefix+"migrate_cancels_injected", func() uint64 { return p.Injected(SiteMigrateCancel) })

@@ -1,0 +1,233 @@
+package guestos
+
+import (
+	"reflect"
+	"testing"
+
+	"ptemagnet/internal/arch"
+	"ptemagnet/internal/physmem"
+)
+
+func TestBalloonInflateFromFreeFrames(t *testing.T) {
+	k := defaultKernel(t)
+	delta := k.SetBalloonTarget(10)
+	if got := len(delta.Inflated); got != 10 {
+		t.Fatalf("inflated %d pages, want 10", got)
+	}
+	if len(delta.SwappedOut) != 0 || len(delta.Deflated) != 0 {
+		t.Errorf("free-frame inflation swapped %d / deflated %d pages, want none",
+			len(delta.SwappedOut), len(delta.Deflated))
+	}
+	if k.BalloonPages() != 10 || k.BalloonTarget() != 10 {
+		t.Errorf("balloon holds %d pages toward target %d, want 10/10", k.BalloonPages(), k.BalloonTarget())
+	}
+	if got := k.Memory().CountKind(physmem.KindBalloon); got != 10 {
+		t.Errorf("%d frames tagged KindBalloon, want 10", got)
+	}
+}
+
+// TestBalloonInflationBreaksReservations pins escalation source 2: when
+// free frames run out, inflation runs the reclaim daemon past its
+// watermark gate and feeds on liberated PTEMagnet reservations.
+func TestBalloonInflationBreaksReservations(t *testing.T) {
+	k := NewKernel(Config{MemBytes: 4 << 20, Policy: PolicyPTEMagnet, Seed: 1})
+	p := mustSpawn(t, k, "a")
+	va := mustMmap(t, p, 3<<20)
+	groups := (3 << 20) / arch.GroupBytes
+	for i := 0; i < groups; i++ {
+		if _, err := p.HandlePageFault(va+arch.VirtAddr(i*arch.GroupBytes), false); err != nil {
+			t.Fatalf("fault %d: %v", i, err)
+		}
+	}
+	freeBefore := k.Memory().FreeFrames()
+	target := freeBefore + 100 // cannot be met from free frames alone
+	delta := k.SetBalloonTarget(target)
+	s := k.Snapshot()
+	if s.ReclaimedReservations == 0 || s.ReclaimedPages == 0 {
+		t.Errorf("inflation past free frames reclaimed %d reservations / %d pages, want both nonzero",
+			s.ReclaimedReservations, s.ReclaimedPages)
+	}
+	if uint64(len(delta.Inflated)) <= freeBefore-balloonReserveFrames {
+		t.Errorf("inflated only %d pages with %d free before — reclaim contributed nothing",
+			len(delta.Inflated), freeBefore)
+	}
+	if len(delta.SwappedOut) != 0 {
+		t.Errorf("swapped %d pages while reservations were still reclaimable", len(delta.SwappedOut))
+	}
+}
+
+// TestBalloonSwapOutLastResort pins escalation source 3 and its
+// determinism: with nothing free and nothing reserved, inflation evicts
+// mapped pages under the FIFO cursor, and two identical kernels evict the
+// identical sequence.
+func TestBalloonSwapOutLastResort(t *testing.T) {
+	build := func() (*Kernel, *Process, arch.VirtAddr) {
+		k := NewKernel(Config{MemBytes: 1 << 20, Policy: PolicyDefault, Seed: 1})
+		p := mustSpawn(t, k, "a")
+		va := mustMmap(t, p, 600<<10)
+		for off := uint64(0); off < 600<<10; off += arch.PageSize {
+			if _, err := p.HandlePageFault(va+arch.VirtAddr(off), true); err != nil {
+				t.Fatalf("fault at %#x: %v", off, err)
+			}
+		}
+		return k, p, va
+	}
+	k1, _, _ := build()
+	target := k1.Memory().FreeFrames() + 40
+	d1 := k1.SetBalloonTarget(target)
+	if len(d1.SwappedOut) == 0 {
+		t.Fatal("inflation past free+reclaimable frames swapped nothing out")
+	}
+	k2, _, _ := build()
+	d2 := k2.SetBalloonTarget(target)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("identical kernels produced different balloon deltas:\n%+v\n%+v", d1, d2)
+	}
+	// Swapped pages must really be gone: their translations are dropped.
+	if got := k1.Memory().CountKind(physmem.KindBalloon); got != k1.BalloonPages() {
+		t.Errorf("kind tags (%d) disagree with balloon bookkeeping (%d)", got, k1.BalloonPages())
+	}
+}
+
+// TestBalloonDeflateRestoresAllocator pins the satellite contract: after
+// an inflate-then-deflate cycle, the kernel's allocation behaviour is
+// identical counter-for-counter to a kernel that never ballooned — same
+// buddy free lists, same physical placements, same stat deltas.
+func TestBalloonDeflateRestoresAllocator(t *testing.T) {
+	build := func() (*Kernel, *Process, arch.VirtAddr) {
+		k := NewKernel(Config{MemBytes: 16 << 20, Policy: PolicyPTEMagnet, Seed: 1})
+		p := mustSpawn(t, k, "a")
+		va := mustMmap(t, p, 4<<20)
+		for off := uint64(0); off < 1<<20; off += arch.PageSize {
+			if _, err := p.HandlePageFault(va+arch.VirtAddr(off), false); err != nil {
+				t.Fatalf("fault at %#x: %v", off, err)
+			}
+		}
+		return k, p, va
+	}
+	cycled, pc, vaC := build()
+	pristine, pp, vaP := build()
+	if d := cycled.SetBalloonTarget(200); len(d.Inflated) != 200 {
+		t.Fatalf("inflated %d pages, want 200", len(d.Inflated))
+	}
+	if d := cycled.SetBalloonTarget(0); len(d.Deflated) != 200 {
+		t.Fatalf("deflated %d pages, want 200", len(d.Deflated))
+	}
+
+	if a, b := cycled.Memory().Buddy().FreeBlocksByOrder(), pristine.Memory().Buddy().FreeBlocksByOrder(); a != b {
+		t.Errorf("free lists after deflate differ from never-ballooned kernel:\n%v\n%v", a, b)
+	}
+	if a, b := cycled.Memory().FreeFrames(), pristine.Memory().FreeFrames(); a != b {
+		t.Errorf("free frames %d after deflate, pristine kernel has %d", a, b)
+	}
+
+	// Identical post-cycle workload lands on identical physical frames
+	// with identical counters.
+	s1, s2 := cycled.Snapshot(), pristine.Snapshot()
+	for off := uint64(1 << 20); off < 2<<20; off += arch.PageSize {
+		if _, err := pc.HandlePageFault(vaC+arch.VirtAddr(off), false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pp.HandlePageFault(vaP+arch.VirtAddr(off), false); err != nil {
+			t.Fatal(err)
+		}
+		paC, _, okC := pc.pt.Translate(vaC + arch.VirtAddr(off))
+		paP, _, okP := pp.pt.Translate(vaP + arch.VirtAddr(off))
+		if !okC || !okP || paC != paP {
+			t.Fatalf("post-cycle fault at +%#x landed on %#x, pristine kernel on %#x", off, uint64(paC), uint64(paP))
+		}
+	}
+	d1, d2 := cycled.Snapshot().Delta(s1), pristine.Snapshot().Delta(s2)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("post-cycle stat deltas diverge:\ncycled:   %+v\npristine: %+v", d1, d2)
+	}
+}
+
+// TestBalloonTargetUpdateFiresReclaim pins that the §4.3 daemon runs on
+// balloon-target updates, not only on the allocation path: inflation
+// raises used memory past the watermark without a single page fault, and
+// the daemon must still fire.
+func TestBalloonTargetUpdateFiresReclaim(t *testing.T) {
+	k := NewKernel(Config{MemBytes: 4 << 20, Policy: PolicyPTEMagnet, ReclaimWatermark: 0.5, Seed: 1})
+	p := mustSpawn(t, k, "a")
+	va := mustMmap(t, p, 1<<20)
+	groups := (1 << 20) / arch.GroupBytes
+	for i := 0; i < groups; i++ {
+		if _, err := p.HandlePageFault(va+arch.VirtAddr(i*arch.GroupBytes), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary := k.Memory().NumFrames() / 2
+	if used := k.Memory().UsedFrames(); used >= boundary {
+		t.Fatalf("setup already past watermark: %d/%d used", used, boundary)
+	}
+	before := k.Snapshot()
+	k.SetBalloonTarget(boundary - k.Memory().UsedFrames() + 20)
+	after := k.Snapshot()
+	if after.ReclaimRuns == before.ReclaimRuns {
+		t.Error("inflation crossed the watermark but the reclaim daemon never ran")
+	}
+	if after.ReclaimedReservations == before.ReclaimedReservations {
+		t.Error("daemon ran without destroying any reservation despite reclaimable groups")
+	}
+}
+
+// TestBalloonWatermarkBoundary pins the boundary convention: used memory
+// at exactly the watermark counts as pressure (>=), one frame below does
+// not.
+func TestBalloonWatermarkBoundary(t *testing.T) {
+	build := func(padTo uint64) *Kernel {
+		k := NewKernel(Config{MemBytes: 4 << 20, Policy: PolicyPTEMagnet, ReclaimWatermark: 0.5, Seed: 1})
+		p := mustSpawn(t, k, "a")
+		va := mustMmap(t, p, 1<<20)
+		if _, err := p.HandlePageFault(va, false); err != nil {
+			t.Fatal(err)
+		}
+		for k.Memory().UsedFrames() < padTo {
+			if _, ok := k.Memory().AllocFrame(physmem.KindUser, k.own(0)); !ok {
+				t.Fatal("pad allocation failed")
+			}
+		}
+		return k
+	}
+
+	boundary := NewKernel(Config{MemBytes: 4 << 20}).Memory().NumFrames() / 2
+
+	at := build(boundary)
+	before := at.Snapshot()
+	at.SetBalloonTarget(at.BalloonPages()) // pure pressure check, no movement
+	if after := at.Snapshot(); after.ReclaimRuns == before.ReclaimRuns || after.ReclaimedReservations == 0 {
+		t.Errorf("used == watermark did not trigger reclaim (runs %d→%d)", before.ReclaimRuns, after.ReclaimRuns)
+	}
+
+	below := build(boundary - 1)
+	before = below.Snapshot()
+	below.SetBalloonTarget(below.BalloonPages())
+	if after := below.Snapshot(); after.ReclaimRuns != before.ReclaimRuns {
+		t.Errorf("used == watermark-1 triggered reclaim (runs %d→%d)", before.ReclaimRuns, after.ReclaimRuns)
+	}
+}
+
+// TestDeflateOnOOMRescuesAllocation pins the virtio-balloon deflate-on-
+// OOM feature: an exhausted guest pool releases balloon frames instead of
+// failing the allocation, and the target is clamped so the freed frames
+// are not immediately re-swallowed.
+func TestDeflateOnOOMRescuesAllocation(t *testing.T) {
+	k := NewKernel(Config{MemBytes: 1 << 20, Policy: PolicyDefault, Seed: 1})
+	if d := k.SetBalloonTarget(200); len(d.Inflated) != 200 {
+		t.Fatalf("inflated %d pages, want 200", len(d.Inflated))
+	}
+	p := mustSpawn(t, k, "a")
+	va := mustMmap(t, p, 400<<10)
+	for off := uint64(0); off < 400<<10; off += arch.PageSize {
+		if _, err := p.HandlePageFault(va+arch.VirtAddr(off), false); err != nil {
+			t.Fatalf("fault at %#x died despite a full balloon: %v", off, err)
+		}
+	}
+	if k.BalloonPages() >= 200 {
+		t.Errorf("balloon still holds %d pages after OOM pressure, want deflation", k.BalloonPages())
+	}
+	if k.BalloonTarget() != k.BalloonPages() {
+		t.Errorf("target %d not clamped to held pages %d after deflate-on-OOM", k.BalloonTarget(), k.BalloonPages())
+	}
+}

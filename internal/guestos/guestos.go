@@ -240,6 +240,18 @@ type Kernel struct {
 	// shared refcounts frames shared by fork COW; frames absent count 1.
 	shared map[arch.PhysAddr]int
 	stats  Stats
+	// balloonTarget is the host-requested balloon size in pages;
+	// balloonPages holds the guest frames currently in the balloon, in
+	// inflation order (deflation pops from the tail, so inflate-then-
+	// deflate restores the buddy free lists exactly).
+	balloonTarget uint64
+	balloonPages  []arch.PhysAddr
+	// swapProc/swapVA form the balloon driver's eviction cursor: the next
+	// (process index, virtual address) its last-resort swap scan resumes
+	// from. Advancing monotonically approximates FIFO eviction and keeps
+	// repeated scans cheap.
+	swapProc int
+	swapVA   arch.VirtAddr
 }
 
 // mmapBase is where process heaps begin, mirroring the x86-64 mmap region.
@@ -256,13 +268,18 @@ func NewKernel(cfg Config) *Kernel {
 	if cfg.PTLevels == 0 {
 		cfg.PTLevels = 4
 	}
-	return &Kernel{
+	k := &Kernel{
 		cfg:    cfg,
 		mem:    physmem.New(cfg.MemBytes),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		next:   1,
 		shared: make(map[arch.PhysAddr]int),
 	}
+	// Deflate-on-OOM backstop: any single-frame allocation that finds the
+	// pool empty — page-table nodes included — may release balloon frames
+	// before failing for good.
+	k.mem.SetEmptyHook(k.deflateOnOOM)
+	return k
 }
 
 // Memory exposes guest-physical memory for inspection.
@@ -609,7 +626,10 @@ func (p *Process) groupPartiallyMapped(page arch.VirtAddr) bool {
 }
 
 // allocUserFrame takes one page from the buddy allocator, reclaiming under
-// pressure if the first attempt fails.
+// pressure if the first attempt fails. Deflate-on-OOM is not spelled out
+// here: the physmem empty-pool hook (deflateOnOOM) already fires inside
+// AllocFrame, so a host-inflated balloon can never starve the guest's own
+// allocations while it still holds frames it could give back.
 func (k *Kernel) allocUserFrame(pid int) (arch.PhysAddr, bool) {
 	k.stats.BuddyCalls++
 	pa, ok := k.mem.AllocFrame(physmem.KindUser, k.own(pid))
@@ -837,29 +857,38 @@ func (p *Process) Exit() {
 }
 
 // checkPressure triggers the reclaim daemon when used memory exceeds the
-// watermark (§4.3).
+// watermark (§4.3). Used memory at exactly the watermark counts as
+// pressure (>=), so a kernel sitting on the boundary still reclaims.
 func (k *Kernel) checkPressure() {
-	total := float64(k.mem.NumFrames())
-	if float64(k.mem.UsedFrames()) >= k.cfg.ReclaimWatermark*total {
+	if !k.belowWatermark() {
 		k.runReclaim()
 	}
+}
+
+// belowWatermark reports whether used memory is strictly below the §4.3
+// reclaim watermark.
+func (k *Kernel) belowWatermark() bool {
+	return float64(k.mem.UsedFrames()) < k.cfg.ReclaimWatermark*float64(k.mem.NumFrames())
 }
 
 // runReclaim implements the daemon: pick a random process with live
 // reservations and destroy reservations until memory drops below the
 // watermark (or nothing remains to reclaim).
-func (k *Kernel) runReclaim() {
+func (k *Kernel) runReclaim() { k.reclaimUntil(k.belowWatermark) }
+
+// reclaimUntil is the daemon loop with a caller-chosen goal: destroy
+// reservations of randomly chosen victim processes until done reports
+// success or nothing reclaimable remains. The balloon driver reuses it
+// with a frees-available goal that ignores the watermark.
+func (k *Kernel) reclaimUntil(done func() bool) {
 	k.stats.ReclaimRuns++
-	below := func() bool {
-		return float64(k.mem.UsedFrames()) < k.cfg.ReclaimWatermark*float64(k.mem.NumFrames())
-	}
-	for !below() {
+	for !done() {
 		victims := k.procsWithReservations()
 		if len(victims) == 0 {
 			return
 		}
 		v := victims[k.rng.Intn(len(victims))]
-		infos := v.part.Reclaim(func(pa arch.PhysAddr) { k.mem.FreeBlock(pa) }, below)
+		infos := v.part.Reclaim(func(pa arch.PhysAddr) { k.mem.FreeBlock(pa) }, done)
 		if len(infos) == 0 {
 			return
 		}

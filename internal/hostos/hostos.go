@@ -34,14 +34,23 @@ type OOMError struct {
 	// injected fault (faults.ErrInjected) or a page-table node allocation
 	// failure (pagetable.ErrNoMemory). Nil for a plain out-of-frames OOM.
 	Err error
+	// Balloon summarises the pressure-relief attempt that preceded this
+	// error (victims tried, pages reclaimed), so an exhausted-host failure
+	// is diagnosable from its message alone. Empty when no reliever was
+	// installed.
+	Balloon string
 }
 
 // Error describes the exhaustion.
 func (e *OOMError) Error() string {
-	if e.Err != nil {
-		return fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s)): %v", e.VM, e.NeedPages, e.Err)
+	msg := fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s))", e.VM, e.NeedPages)
+	if e.Balloon != "" {
+		msg += fmt.Sprintf(" [balloon: %s]", e.Balloon)
 	}
-	return fmt.Sprintf("hostos: out of host-physical memory (vm %d needed %d page(s))", e.VM, e.NeedPages)
+	if e.Err != nil {
+		msg += fmt.Sprintf(": %v", e.Err)
+	}
+	return msg
 }
 
 // Is reports sentinel equivalence with ErrOutOfMemory.
@@ -67,6 +76,25 @@ type DirtyLogInjector interface {
 	ForceDirtyLogOverflow() bool
 }
 
+// PressureReliever frees host frames under allocation pressure
+// (balloon.Controller implements it). RelieveFor is called when an
+// allocation on behalf of VM vm cannot find need free frames; it returns
+// a human-readable summary of the attempt (victims tried, pages
+// reclaimed) and whether at least need frames are now free. The failed
+// allocation is retried exactly once after a relief attempt, so OOMError
+// surfaces only when ballooning genuinely cannot satisfy the request.
+type PressureReliever interface {
+	RelieveFor(vm int, need uint64) (summary string, ok bool)
+}
+
+// oomAbsorber is the optional faults.Plan extension hostos discovers by
+// type assertion: when an injected host OOM is absorbed in-run by the
+// pressure reliever instead of failing the attempt, the plan is told so
+// its counters can distinguish degradation from recovery-by-retry.
+type oomAbsorber interface {
+	NoteAbsorbedHostOOM()
+}
+
 // Kernel is the host kernel, owner of host-physical memory.
 type Kernel struct {
 	mem *physmem.Memory
@@ -78,11 +106,19 @@ type Kernel struct {
 	// oomInject, when non-nil, is consulted before each fault-time frame
 	// allocation (fault injection; nil on the production path).
 	oomInject OOMInjector
+	// reliever, when non-nil, turns allocation-time OOM into a bounded
+	// balloon-then-retry path (nil on the zero-pressure path).
+	reliever PressureReliever
 }
 
 // SetOOMInjector installs h (nil removes it); every subsequent
 // HandleFault consults it before allocating.
 func (k *Kernel) SetOOMInjector(h OOMInjector) { k.oomInject = h }
+
+// SetPressureReliever installs r (nil removes it); every subsequent
+// failed frame allocation attempts relief through it once before
+// surfacing OOMError.
+func (k *Kernel) SetPressureReliever(r PressureReliever) { k.reliever = r }
 
 // NewKernel boots a host kernel managing memBytes of host-physical memory.
 func NewKernel(memBytes uint64) *Kernel {
@@ -198,21 +234,61 @@ func (vm *VM) HandleFault(gpa arch.PhysAddr) error {
 	if _, _, ok := vm.pt.Translate(page); ok {
 		return nil
 	}
-	if vm.kernel.oomInject != nil {
-		if cause := vm.kernel.oomInject.InjectHostOOM(); cause != nil {
-			return &OOMError{VM: vm.id, NeedPages: 1, Err: cause}
+	k := vm.kernel
+	if k.oomInject != nil {
+		if cause := k.oomInject.InjectHostOOM(); cause != nil {
+			if k.reliever == nil {
+				return &OOMError{VM: vm.id, NeedPages: 1, Err: cause}
+			}
+			// With a reliever armed, an injected allocation failure takes
+			// the same balloon-then-retry path as an organic one: relieve,
+			// then fall through to the (single) re-attempted allocation.
+			summary, ok := k.reliever.RelieveFor(vm.id, 1)
+			if !ok {
+				return &OOMError{VM: vm.id, NeedPages: 1, Err: cause, Balloon: summary}
+			}
+			if a, can := k.oomInject.(oomAbsorber); can {
+				a.NoteAbsorbedHostOOM()
+			}
 		}
 	}
-	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
-	if !ok {
-		return &OOMError{VM: vm.id, NeedPages: 1}
+	return vm.backPage(page, true)
+}
+
+// backPage allocates one host frame and maps it at page, taking the
+// reliever's balloon-then-retry path when either the frame or a
+// page-table node allocation fails. isFault selects whether the mapping
+// counts as an EPT violation.
+func (vm *VM) backPage(page arch.VirtAddr, isFault bool) error {
+	k := vm.kernel
+	var summary string
+	hpa, ok := k.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
+	if !ok && k.reliever != nil {
+		summary, _ = k.reliever.RelieveFor(vm.id, 1)
+		hpa, ok = k.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
 	}
-	vm.faults++
-	if err := vm.pt.Map(page, hpa, pagetable.FlagWritable); err != nil {
+	if !ok {
+		return &OOMError{VM: vm.id, NeedPages: 1, Balloon: summary}
+	}
+	if isFault {
+		vm.faults++
+	}
+	err := vm.pt.Map(page, hpa, pagetable.FlagWritable)
+	if err != nil && errors.Is(err, pagetable.ErrNoMemory) && k.reliever != nil {
+		// Node-allocation exhaustion gets one relief-and-retry too; Map
+		// leaves a consistent tree on ErrNoMemory, so re-walking it only
+		// allocates the nodes still missing.
+		var relieved bool
+		summary, relieved = k.reliever.RelieveFor(vm.id, 1)
+		if relieved {
+			err = vm.pt.Map(page, hpa, pagetable.FlagWritable)
+		}
+	}
+	if err != nil {
 		// Node-allocation exhaustion is host OOM too: wrap it so callers
 		// see one taxonomy root instead of a bare pagetable error.
 		if errors.Is(err, pagetable.ErrNoMemory) {
-			return &OOMError{VM: vm.id, NeedPages: 1, Err: err}
+			return &OOMError{VM: vm.id, NeedPages: 1, Err: err, Balloon: summary}
 		}
 		return err
 	}
@@ -377,15 +453,22 @@ func (vm *VM) MapMigratedPage(gpa arch.PhysAddr) error {
 	if _, _, ok := vm.pt.Translate(page); ok {
 		return nil
 	}
-	hpa, ok := vm.kernel.mem.AllocFrame(physmem.KindUser, physmem.VMOwner(vm.id))
+	return vm.backPage(page, false)
+}
+
+// Unback drops the host backing of the guest-physical page containing
+// gpa: the EPT mapping is removed and the host frame returns to the host
+// buddy allocator, where it can coalesce with its buddies. It reports
+// whether a frame was actually freed (false when the page never had host
+// backing). The balloon controller calls it for every guest-ballooned
+// page; the next guest access to the page re-faults and re-allocates
+// lazily, exactly like first touch.
+func (vm *VM) Unback(gpa arch.PhysAddr) bool {
+	page := arch.VirtAddr(gpa).PageBase()
+	hpa, _, ok := vm.pt.Unmap(page)
 	if !ok {
-		return &OOMError{VM: vm.id, NeedPages: 1}
+		return false
 	}
-	if err := vm.pt.Map(page, hpa, pagetable.FlagWritable); err != nil {
-		if errors.Is(err, pagetable.ErrNoMemory) {
-			return &OOMError{VM: vm.id, NeedPages: 1, Err: err}
-		}
-		return err
-	}
-	return nil
+	vm.kernel.mem.FreeBlock(hpa)
+	return true
 }

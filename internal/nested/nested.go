@@ -448,6 +448,14 @@ func (w *Walker) InvalidatePage(asid uint32, va arch.VirtAddr) {
 	w.tlb.InvalidatePage(asid, va.PageNumber())
 }
 
+// InvalidateGPA drops the nested-TLB translation for gpa's frame. The
+// balloon controller calls this when it unbacks a ballooned guest page:
+// the host frame returns to the buddy allocator, so a cached gPA→hPA
+// entry would resolve to memory the guest no longer owns.
+func (w *Walker) InvalidateGPA(gpa arch.PhysAddr) {
+	w.ntlb.InvalidatePage(0, gpa.FrameNumber())
+}
+
 // InvalidateRange drops the translations for every page of [start, end)
 // from the main TLB — the shootdown behind a ranged free. end must be
 // page-aligned. State-identical to per-page InvalidatePage calls.

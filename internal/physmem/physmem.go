@@ -36,6 +36,11 @@ const (
 	KindReserved
 	// KindKernel marks miscellaneous kernel-owned memory.
 	KindKernel
+	// KindBalloon marks a frame held by the guest's balloon driver: taken
+	// from the guest buddy on host request so the host can drop its
+	// backing. The frame is unusable by the guest until the balloon
+	// deflates. Only meaningful in guest-physical memory.
+	KindBalloon
 )
 
 // String returns a short human-readable name for the kind.
@@ -51,6 +56,8 @@ func (k FrameKind) String() string {
 		return "reserved"
 	case KindKernel:
 		return "kernel"
+	case KindBalloon:
+		return "balloon"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", uint8(k))
 	}
@@ -84,6 +91,7 @@ type Memory struct {
 	kind  []FrameKind
 	owner []Owner
 	hook  buddy.AllocHook
+	empty func(kind FrameKind) bool
 }
 
 // New creates a memory of the given size in bytes, which must be a positive
@@ -131,6 +139,16 @@ func (m *Memory) Buddy() *buddy.Allocator { return m.alloc }
 // turn a transient injected fault into a fatal one.
 func (m *Memory) SetAllocHook(h buddy.AllocHook) { m.hook = h }
 
+// SetEmptyHook installs a last-resort handler consulted when a
+// single-frame allocation finds the pool exhausted (nil removes it). The
+// handler frees memory if it can — the guest kernel deflates its balloon
+// here, mirroring the virtio-balloon OOM notifier — and reports whether a
+// retry is worthwhile. It covers every single-frame kind except
+// KindBalloon: balloon inflation must never trigger the deflation that
+// feeds it. Unlike the fault hook it also covers page-table and kernel
+// frames, which is the point — those allocations have no other fallback.
+func (m *Memory) SetEmptyHook(f func(kind FrameKind) bool) { m.empty = f }
+
 // vetoed consults the fault hook for one allocation.
 func (m *Memory) vetoed(kind FrameKind, order int) bool {
 	if m.hook == nil || (kind != KindUser && kind != KindReserved) {
@@ -146,6 +164,9 @@ func (m *Memory) AllocFrame(kind FrameKind, owner Owner) (arch.PhysAddr, bool) {
 		return arch.NoPhysAddr, false
 	}
 	frame, ok := m.alloc.AllocPage()
+	if !ok && kind != KindBalloon && m.empty != nil && m.empty(kind) {
+		frame, ok = m.alloc.AllocPage()
+	}
 	if !ok {
 		return arch.NoPhysAddr, false
 	}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"ptemagnet/internal/balloon"
 	"ptemagnet/internal/engine"
 	"ptemagnet/internal/faults"
 	"ptemagnet/internal/guestos"
@@ -42,6 +43,10 @@ type chaosJob struct {
 	base      Scenario
 	migration bool
 	mig       MigrationScenario
+	// balloon arms the host's pressure controller, giving the host-oom
+	// chaos site a third outcome besides retry and fail: the injected OOM
+	// is absorbed in-run by the balloon-then-retry path (degradation).
+	balloon bool
 }
 
 // fingerprint hashes the job's full configuration (telemetry identity).
@@ -76,6 +81,9 @@ type ChaosRunResult struct {
 	// succeeded; Failed marks scenarios that exhausted every attempt.
 	Recovered bool
 	Failed    bool
+	// Absorbed counts injected host OOMs the balloon-armed host absorbed
+	// in-run instead of failing the attempt — the "degraded" outcome.
+	Absorbed uint64
 	// Frag is the host-PT fragmentation at the end of the winning run
 	// (the primary task's for workload jobs, the migrated guest's for
 	// migration jobs).
@@ -104,6 +112,9 @@ func (r ChaosResult) String() string {
 		"scenario", "attempts", "injected", "outcome", "frag", "steady-cyc", "migration (rounds/ovf/downtime)")
 	for _, row := range r.Rows {
 		outcome := "ok"
+		if row.Absorbed > 0 {
+			outcome = "degraded"
+		}
 		if row.Recovered {
 			outcome = "recovered"
 		}
@@ -182,6 +193,27 @@ func chaosJobs(sc Scale, seed int64, override faults.Config) []chaosJob {
 				},
 			})
 		}
+	}
+	// Balloon-armed host OOM: the same injected host OOM as "heavy", but
+	// with the pressure controller armed the allocation takes the
+	// balloon-then-retry path and the attempt completes — outcome
+	// "degraded" rather than recovery-by-retry.
+	for _, p := range policies {
+		name := p.name + "/oom-absorb"
+		cfg := faults.Config{HostOOMs: 1, HostOOMSpan: 128}
+		cfg.Seed = engine.DeriveSeed(seed, "chaos/faults/"+name)
+		jobs = append(jobs, chaosJob{
+			name:    name,
+			cfg:     cfg,
+			balloon: true,
+			base: Scenario{
+				Benchmark: "pagerank",
+				Corunners: []string{"stress-ng"},
+				Policy:    p.policy,
+				Scale:     sc,
+				Seed:      engine.DeriveSeed(seed, "chaos/"+name),
+			},
+		})
 	}
 	// Mid-migration faults: a destination OOM at round 1 with the dirty
 	// log forced to overflow (exercising the PR 8 rescan path on the
@@ -262,7 +294,11 @@ func runChaosJob(ctx context.Context, j chaosJob, st *chaosState) (res ChaosRunR
 	if j.migration {
 		return runChaosMigration(ctx, stop, j, plan, st)
 	}
-	m, err := BuildMachine(j.base)
+	var mod func(*vm.Config)
+	if j.balloon {
+		mod = func(cfg *vm.Config) { cfg.Balloon = balloon.Config{Enabled: true} }
+	}
+	m, err := buildMachine(j.base, mod)
 	if err != nil {
 		return ChaosRunResult{}, err
 	}
@@ -278,6 +314,7 @@ func runChaosJob(ctx context.Context, j chaosJob, st *chaosState) (res ChaosRunR
 	res = ChaosRunResult{
 		Name:         j.name,
 		Injected:     plan.InjectedTotal(),
+		Absorbed:     plan.AbsorbedHostOOMs(),
 		Frag:         report.Tasks[0].Frag.Mean,
 		SteadyCycles: report.Tasks[0].SteadyCycles,
 	}

@@ -35,8 +35,8 @@ type ExperimentInfo struct {
 	// low-pressure check, which print together as Figure 6).
 	Tags []string
 	// InAll marks experiments included in the "all" selector. The opt-in
-	// sweeps (multitenant, migration) are excluded so the default output
-	// stays stable.
+	// sweeps (multitenant, migration, chaos, overcommit) are excluded so
+	// the default output stays stable.
 	InAll bool
 }
 
@@ -243,6 +243,10 @@ var experiments = []experiment{
 			r, err := RunChaosCtx(ctx, p.eng, p.scale, p.seed, p.faults, p.retry)
 			return r, err
 		},
+	},
+	{
+		info: ExperimentInfo{Name: "overcommit", Title: "Overcommit: watermark ballooning (default vs PTEMagnet, 1.25×–2×)"},
+		run:  engineRun(RunOvercommitCtx),
 	},
 }
 

@@ -24,7 +24,7 @@ func TestExperimentRegistryShape(t *testing.T) {
 		}
 		seen[info.Name] = true
 	}
-	for _, optIn := range []string{"multitenant", "migration", "chaos"} {
+	for _, optIn := range []string{"multitenant", "migration", "chaos", "overcommit"} {
 		if !seen[optIn] {
 			t.Errorf("experiment %q not registered", optIn)
 		}
@@ -35,15 +35,15 @@ func TestExperimentRegistryShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, info := range all {
-		if info.Name == "multitenant" || info.Name == "migration" || info.Name == "chaos" {
+		if info.Name == "multitenant" || info.Name == "migration" || info.Name == "chaos" || info.Name == "overcommit" {
 			t.Errorf("opt-in experiment %q selected by \"all\"", info.Name)
 		}
 		if !info.InAll {
 			t.Errorf("%q selected by \"all\" without InAll", info.Name)
 		}
 	}
-	if len(all) != len(infos)-3 {
-		t.Errorf("\"all\" selected %d of %d experiments, want all but the three opt-ins", len(all), len(infos))
+	if len(all) != len(infos)-4 {
+		t.Errorf("\"all\" selected %d of %d experiments, want all but the four opt-ins", len(all), len(infos))
 	}
 
 	fig6, err := MatchExperiments("fig6")

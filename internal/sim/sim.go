@@ -211,6 +211,14 @@ type Result struct {
 // running it — for callers that need to attach a tracer or inspect state
 // before Run.
 func BuildMachine(s Scenario) (*vm.Machine, error) {
+	return buildMachine(s, nil)
+}
+
+// buildMachine is BuildMachine with a final configuration hook: mod, when
+// non-nil, edits the assembled vm.Config before the machine is built.
+// Internal callers use it for knobs deliberately kept out of Scenario
+// (whose %+v rendering is a frozen telemetry fingerprint).
+func buildMachine(s Scenario, mod func(*vm.Config)) (*vm.Machine, error) {
 	cfg := vm.DefaultConfig()
 	cfg.HostMemBytes = s.Scale.HostMemBytes
 	cfg.GuestMemBytes = s.Scale.GuestMemBytes
@@ -232,6 +240,9 @@ func BuildMachine(s Scenario) (*vm.Machine, error) {
 			cc.L2.SizeBytes = s.Scale.L2Bytes
 		}
 		cfg.Cache = cc
+	}
+	if mod != nil {
+		mod(&cfg)
 	}
 	m, err := vm.New(cfg)
 	if err != nil {

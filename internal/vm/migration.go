@@ -56,6 +56,9 @@ func (m *Machine) DetachGuest(g *Guest) error {
 	}
 	m.tasks = kept
 	g.walker.InvalidateAll()
+	if m.balloon != nil {
+		m.balloon.Detach(g.hostVM)
+	}
 	m.host.DestroyVM(g.hostVM)
 	g.m = nil
 	g.hostVM = nil
@@ -94,6 +97,9 @@ func (m *Machine) AttachGuest(g *Guest, hostVM *hostos.VM) error {
 	g.hostVM = hostVM
 	g.alive = true
 	g.walker.Rebind(m.hier, hostVM)
+	if m.balloon != nil {
+		m.balloon.Attach(hostVM, g.kernel, g.walker.InvalidatePage, g.walker.InvalidateGPA)
+	}
 	for i, t := range g.tasks {
 		t.cpu = (g.index + i) % m.cfg.NumCPUs
 		t.index = len(m.tasks)

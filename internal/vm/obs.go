@@ -262,6 +262,23 @@ func (m *Machine) Registry() *obs.Registry {
 			m.hier.RegisterObs(r, "cache.")
 		}
 		m.host.Memory().Buddy().RegisterObs(r, "buddy.host.")
+		if m.balloon != nil {
+			// Balloon counters exist only on balloon-armed machines, so
+			// zero-pressure telemetry keeps its historical schema.
+			m.balloon.RegisterObs(r, "balloon.")
+			for _, g := range m.guests {
+				if g.migratedOut {
+					continue
+				}
+				g := g
+				p := "guest."
+				if len(m.guests) > 1 {
+					p = fmt.Sprintf("vm%d.guest.", g.index)
+				}
+				r.Counter(p+"balloon_pages", g.kernel.BalloonPages)
+				r.Counter(p+"balloon_target", g.kernel.BalloonTarget)
+			}
+		}
 		m.registry = r
 	}
 	return m.registry

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/balloon"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
 	"ptemagnet/internal/faults"
@@ -135,6 +136,11 @@ type HostConfig struct {
 	// PTLevels selects the page-table depth for both the guest and the
 	// host dimension: 4 (default) or 5 (LA57 + 5-level EPT, §2.5).
 	PTLevels int
+	// Balloon arms the host's overcommit pressure controller. The zero
+	// value leaves the machine balloon-free with the allocation hot path
+	// untouched; set Enabled for hosts whose guests' combined memory may
+	// exceed HostMemBytes.
+	Balloon balloon.Config
 	// Guests lists the VMs to boot, in VM-id order.
 	Guests []GuestConfig
 }
@@ -213,6 +219,9 @@ type Config struct {
 	// PTLevels selects the page-table depth for both the guest and the
 	// host dimension: 4 (default) or 5 (LA57 + 5-level EPT, §2.5).
 	PTLevels int
+	// Balloon arms the host's overcommit pressure controller (zero stays
+	// balloon-free).
+	Balloon balloon.Config
 	// Seed drives kernel randomness.
 	Seed int64
 }
@@ -270,6 +279,7 @@ func (c Config) Host() HostConfig {
 		Costs:        c.Costs,
 		Quantum:      c.Quantum,
 		PTLevels:     c.PTLevels,
+		Balloon:      c.Balloon,
 		Guests: []GuestConfig{{
 			MemBytes:             c.GuestMemBytes,
 			Policy:               c.Policy,
@@ -524,6 +534,10 @@ type Machine struct {
 	// guests booted mid-run inherit its hooks.
 	faultPlan *faults.Plan
 
+	// balloon, when non-nil, is the armed overcommit pressure controller;
+	// it doubles as the host kernel's PressureReliever.
+	balloon *balloon.Controller
+
 	// corunnersStopped latches StopCorunnersAtPrimaryInit across
 	// pause/resume boundaries (RunOptions.StopAtAccesses): once co-runners
 	// stop at the primary-init boundary they stay stopped for the machine's
@@ -592,6 +606,10 @@ func newMachine(cfg HostConfig) (*Machine, error) {
 		accBuf: make([]workload.Access, batchCap),
 		recBuf: make([]AccessRecord, 0, batchCap),
 	}
+	if cfg.Balloon.Enabled {
+		m.balloon = balloon.New(cfg.Balloon, m.host)
+		m.host.SetPressureReliever(m.balloon)
+	}
 	for _, gc := range cfg.Guests {
 		if _, err := m.addGuest(gc); err != nil {
 			return nil, err
@@ -626,6 +644,11 @@ func (m *Machine) addGuest(gc GuestConfig) (*Guest, error) {
 		alive:  true,
 	}
 	m.guests = append(m.guests, g)
+	if m.balloon != nil {
+		// The invalidation hook drops TLB entries for pages the guest's
+		// balloon driver swaps out under host pressure.
+		m.balloon.Attach(hostVM, kernel, g.walker.InvalidatePage, g.walker.InvalidateGPA)
+	}
 	return g, nil
 }
 
@@ -672,6 +695,10 @@ func (m *Machine) InstallFaultPlan(p *faults.Plan) {
 // FaultPlan returns the installed fault plan (nil when none is armed).
 func (m *Machine) FaultPlan() *faults.Plan { return m.faultPlan }
 
+// Balloon returns the armed overcommit pressure controller, or nil on a
+// balloon-free machine.
+func (m *Machine) Balloon() *balloon.Controller { return m.balloon }
+
 // DestroyGuest tears a guest down mid-lifetime — the "VM dies" half of a
 // churn scenario. Its tasks stop, its walker state is flushed (the cached
 // gPA→hPA translations die with the host page table), and the host frees
@@ -688,6 +715,9 @@ func (m *Machine) DestroyGuest(g *Guest) {
 		t.done = true
 	}
 	g.walker.InvalidateAll()
+	if m.balloon != nil {
+		m.balloon.Detach(g.hostVM)
+	}
 	m.host.DestroyVM(g.hostVM)
 }
 
@@ -893,6 +923,7 @@ func (m *Machine) runWith(ctx context.Context, opts runConfig) error {
 		return fmt.Errorf("vm: no primary task")
 	}
 	var nextSample uint64
+	var nextBalloon uint64
 	nextEvent := 0
 	// The round loop walks guests in creation order and, inside each
 	// guest, its tasks in creation order — a fixed interleaving fully
@@ -943,6 +974,14 @@ func (m *Machine) runWith(ctx context.Context, opts runConfig) error {
 		if opts.sampleEvery > 0 && m.totalAccesses >= nextSample {
 			m.unusedSeries.Record(m.totalAccesses, int64(m.unusedReservedPages()))
 			nextSample = m.totalAccesses + opts.sampleEvery
+		}
+		if m.balloon != nil && m.totalAccesses >= nextBalloon {
+			// Working-set sampling and the watermark check are keyed to
+			// the machine-global access count, the same deterministic
+			// clock as run events and gauge sampling.
+			m.balloon.Sample()
+			m.balloon.Check()
+			nextBalloon = m.totalAccesses + m.balloon.Config().SampleEvery
 		}
 		if opts.maxAccesses > 0 && m.totalAccesses >= opts.maxAccesses {
 			return fmt.Errorf("vm: exceeded access budget %d", opts.maxAccesses)

@@ -35,6 +35,7 @@ import (
 	"context"
 
 	"ptemagnet/internal/arch"
+	"ptemagnet/internal/balloon"
 	"ptemagnet/internal/cache"
 	"ptemagnet/internal/core"
 	"ptemagnet/internal/engine"
@@ -691,6 +692,44 @@ var (
 // ladder, default retry policy).
 func RunChaos(sc Scale, seed int64) (ChaosResult, error) {
 	return sim.RunChaosCtx(context.Background(), nil, sc, seed, FaultConfig{}, RetryPolicy{})
+}
+
+// Host memory overcommit (DESIGN.md §12): a watermark-driven balloon
+// controller that relieves host pressure by inflating per-guest balloon
+// targets, driving the guest reclaim daemon to break PTEMagnet
+// reservations and return cold frames to the host buddy allocator.
+type (
+	// BalloonConfig arms the controller on a Machine (HostConfig.Balloon).
+	BalloonConfig = balloon.Config
+	// BalloonStats counts what the controller did (inflate/deflate cycles,
+	// pages unbacked, OOM reliefs).
+	BalloonStats = balloon.Stats
+	// BalloonController is the host-side pressure controller itself,
+	// reachable via Machine.Balloon.
+	BalloonController = balloon.Controller
+	// OvercommitScenario configures one cell of the overcommit sweep.
+	OvercommitScenario = sim.OvercommitScenario
+	// OvercommitRunResult is one overcommit scenario's measurement.
+	OvercommitRunResult = sim.OvercommitRunResult
+	// OvercommitResult covers the -exp overcommit sweep.
+	OvercommitResult = sim.OvercommitResult
+)
+
+// Overcommit entry points.
+var (
+	// OvercommitRatios is the sweep's declared-memory ratios, in percent.
+	OvercommitRatios = sim.OvercommitRatios
+	// BuildOvercommitMachine assembles one overcommitted multi-VM machine.
+	BuildOvercommitMachine = sim.BuildOvercommitMachine
+	// RunOvercommitScenarioCtx executes one overcommit scenario end to end.
+	RunOvercommitScenarioCtx = sim.RunOvercommitScenarioCtx
+	// RunOvercommitCtx runs the overcommit sweep through an engine.
+	RunOvercommitCtx = sim.RunOvercommitCtx
+)
+
+// RunOvercommit runs the overcommit sweep with default settings.
+func RunOvercommit(sc Scale, seed int64) (OvercommitResult, error) {
+	return sim.RunOvercommitCtx(context.Background(), nil, sc, seed)
 }
 
 // Tracing: record a machine's event stream to a compact binary format and
